@@ -1,0 +1,311 @@
+//! Numeric optimality verification.
+//!
+//! The paper claims its strategies are *optimal*, not merely competitive.
+//! This module checks that claim from first principles: the transactional
+//! conflict problem is a zero-sum game between the algorithm (choosing the
+//! grace period `x`) and the adversary (choosing the remaining time `y`),
+//! with payoff `cost(y, x)/OPT(y)`. We discretize both action spaces and
+//! solve the game by fictitious play (with the classic incremental
+//! cumulative-payoff trick), obtaining upper and lower bounds on the game
+//! value that bracket the optimal competitive ratio. The bounds must
+//! converge to the analytic ratios of Theorems 1–6, and the algorithm's
+//! empirical mixed strategy must match the analytic density.
+
+use tcp_core::conflict::{conflict_cost, offline_opt, Conflict, ResolutionMode};
+
+/// Result of solving the discretized conflict game.
+#[derive(Clone, Debug)]
+pub struct GameSolution {
+    /// Lower bound on the game value (best response to the adversary's
+    /// empirical average).
+    pub lower: f64,
+    /// Upper bound (adversary's best response to the algorithm's empirical
+    /// average).
+    pub upper: f64,
+    /// Grid of grace periods.
+    pub xs: Vec<f64>,
+    /// The algorithm's empirical mixed strategy over `xs` (sums to 1).
+    pub strategy: Vec<f64>,
+}
+
+impl GameSolution {
+    /// Midpoint estimate of the optimal competitive ratio.
+    pub fn value(&self) -> f64 {
+        0.5 * (self.lower + self.upper)
+    }
+
+    /// Empirical CDF of the mixed strategy at `x`.
+    pub fn strategy_cdf(&self, x: f64) -> f64 {
+        self.xs
+            .iter()
+            .zip(&self.strategy)
+            .take_while(|(xi, _)| **xi <= x)
+            .map(|(_, p)| p)
+            .sum()
+    }
+}
+
+/// Which formulation of the game to solve.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Formulation {
+    /// Physically natural: the offline optimum is
+    /// `min((k−1)y, B)` (requestor wins) / `(k−1)·min(y, B)` (requestor
+    /// aborts), and the algorithm may wait as long as is undominated
+    /// (`B/(k−1)` for RW, `B` for RA — in RA the (k−1) factors cancel in
+    /// the ratio, so the game is the `k = 2` game for every `k`).
+    Natural,
+    /// The paper's Theorem 3 requestor-aborts formulation: strategy and
+    /// adversary are restricted to `[0, B/(k−1)]`, and the adversary's
+    /// beyond-support mass is costed against an offline optimum of `B`
+    /// (not `(k−1)B`). Theorem 3's ratio is optimal *for this game*; see
+    /// `DESIGN.md` deviation 4 for the discrepancy.
+    PaperRa,
+}
+
+/// Solve the conflict game for the given mode and chain length by
+/// fictitious play on an `nx × ny` grid with `iters` rounds.
+///
+/// The adversary's action space is a half-open grid over the algorithm's
+/// support plus one "beyond the support" action (any larger `y` yields the
+/// same saturated payoff).
+pub fn solve_conflict_game_with(
+    mode: ResolutionMode,
+    c: &Conflict,
+    nx: usize,
+    ny: usize,
+    iters: usize,
+    formulation: Formulation,
+) -> GameSolution {
+    let hi = match (mode, formulation) {
+        // In the natural RA game, waiting up to B is undominated.
+        (ResolutionMode::RequestorAborts, Formulation::Natural) => c.abort_cost,
+        _ => c.abort_cost / c.waiters(),
+    };
+    // Algorithm actions: grace periods including 0 and hi.
+    let xs: Vec<f64> = (0..nx).map(|i| hi * i as f64 / (nx - 1) as f64).collect();
+    // Adversary actions: y on a half-open grid offset from the x-grid (so
+    // boundary-tie conventions do not dominate the discretization error),
+    // plus the beyond-support action at 2·hi.
+    let beyond = 2.0 * hi;
+    let mut ys: Vec<f64> = (0..ny - 1)
+        .map(|j| hi * (j as f64 + 0.5) / (ny - 1) as f64)
+        .collect();
+    ys.push(beyond);
+
+    // Payoff matrix in flattened form: payoff[j * nx + i] = cost(y_j, x_i)/opt(y_j).
+    let payoff: Vec<f64> = ys
+        .iter()
+        .flat_map(|&y| {
+            let opt = match formulation {
+                Formulation::PaperRa if y >= beyond => c.abort_cost,
+                _ => offline_opt(mode, c, y),
+            };
+            xs.iter()
+                .map(move |&x| conflict_cost(mode, c, y, x) / opt)
+                .collect::<Vec<_>>()
+        })
+        .collect();
+
+    // Fictitious play with incremental cumulative payoffs.
+    let mut alg_cum = vec![0.0f64; nx]; // Σ over adversary plays of payoff[y][x]
+    let mut adv_cum = vec![0.0f64; ny]; // Σ over algorithm plays of payoff[y][x]
+    let mut alg_counts = vec![0u64; nx];
+    // Seed: algorithm plays x = 0 once; adversary responds.
+    let mut x_star = 0usize;
+    for _ in 0..iters {
+        // Algorithm just played x_star: update the adversary's view.
+        for (j, a) in adv_cum.iter_mut().enumerate() {
+            *a += payoff[j * nx + x_star];
+        }
+        alg_counts[x_star] += 1;
+        // Adversary best-responds to the algorithm's empirical mixture.
+        let y_star = argmax(&adv_cum);
+        // Algorithm's view updates with the adversary's play.
+        for (i, a) in alg_cum.iter_mut().enumerate() {
+            *a += payoff[y_star * nx + i];
+        }
+        // Algorithm best-responds to the adversary's empirical mixture.
+        x_star = argmin(&alg_cum);
+    }
+    let t = iters as f64;
+    let upper = adv_cum.iter().fold(f64::MIN, |m, &v| m.max(v)) / t;
+    let lower = alg_cum.iter().fold(f64::MAX, |m, &v| m.min(v)) / t;
+    let total: f64 = alg_counts.iter().sum::<u64>() as f64;
+    GameSolution {
+        lower,
+        upper,
+        xs,
+        strategy: alg_counts.iter().map(|&c| c as f64 / total).collect(),
+    }
+}
+
+/// [`solve_conflict_game_with`] under the [`Formulation::Natural`] model.
+pub fn solve_conflict_game(
+    mode: ResolutionMode,
+    c: &Conflict,
+    nx: usize,
+    ny: usize,
+    iters: usize,
+) -> GameSolution {
+    solve_conflict_game_with(mode, c, nx, ny, iters, Formulation::Natural)
+}
+
+fn argmax(v: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &x) in v.iter().enumerate() {
+        if x > v[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+fn argmin(v: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &x) in v.iter().enumerate() {
+        if x < v[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcp_core::competitive::{rand_ra_ratio, rand_rw_ratio};
+    use tcp_core::pdf::GracePdf;
+    use tcp_core::pdfs::{RaUnconstrainedPdf, RwUnconstrainedPdf};
+
+    const B: f64 = 100.0;
+
+    #[test]
+    fn game_value_matches_thm5_at_k2() {
+        let c = Conflict::pair(B);
+        let sol = solve_conflict_game(ResolutionMode::RequestorWins, &c, 80, 81, 60_000);
+        assert!(sol.lower <= sol.upper + 1e-9);
+        let analytic = rand_rw_ratio(2); // 2.0
+        assert!(
+            (sol.value() - analytic).abs() < 0.06,
+            "game value {} ({} .. {}) vs analytic {analytic}",
+            sol.value(),
+            sol.lower,
+            sol.upper
+        );
+    }
+
+    #[test]
+    fn game_value_matches_thm1_requestor_aborts() {
+        // k = 2: both formulations coincide.
+        let c = Conflict::pair(B);
+        let sol = solve_conflict_game(ResolutionMode::RequestorAborts, &c, 80, 81, 60_000);
+        let analytic = rand_ra_ratio(2); // e/(e-1)
+        assert!(
+            (sol.value() - analytic).abs() < 0.06,
+            "game value {} vs analytic {analytic}",
+            sol.value()
+        );
+    }
+
+    #[test]
+    fn game_value_matches_thm6_for_chains() {
+        for k in [3usize, 5] {
+            let c = Conflict::chain(B, k);
+            let sol = solve_conflict_game(ResolutionMode::RequestorWins, &c, 60, 61, 60_000);
+            let analytic = rand_rw_ratio(k);
+            assert!(
+                (sol.value() - analytic).abs() < 0.08,
+                "k={k}: game value {} vs analytic {analytic}",
+                sol.value()
+            );
+        }
+    }
+
+    #[test]
+    fn learned_strategy_matches_analytic_cdf_rw() {
+        // The fictitious-play mixture should converge (coarsely) to the
+        // uniform distribution of Theorem 5.
+        let c = Conflict::pair(B);
+        let sol = solve_conflict_game(ResolutionMode::RequestorWins, &c, 60, 61, 120_000);
+        let analytic = RwUnconstrainedPdf::new(B, 2);
+        for frac in [0.25, 0.5, 0.75] {
+            let x = B * frac;
+            let diff = (sol.strategy_cdf(x) - analytic.cdf(x)).abs();
+            assert!(
+                diff < 0.12,
+                "CDF at {x}: learned {} vs analytic {}",
+                sol.strategy_cdf(x),
+                analytic.cdf(x)
+            );
+        }
+    }
+
+    #[test]
+    fn learned_strategy_matches_analytic_cdf_ra() {
+        // ...and to the exponential density of Theorem 1 in RA mode.
+        let c = Conflict::pair(B);
+        let sol = solve_conflict_game(ResolutionMode::RequestorAborts, &c, 60, 61, 120_000);
+        let analytic = RaUnconstrainedPdf::new(B, 2);
+        for frac in [0.25, 0.5, 0.75] {
+            let x = B * frac;
+            let diff = (sol.strategy_cdf(x) - analytic.cdf(x)).abs();
+            assert!(
+                diff < 0.12,
+                "CDF at {x}: learned {} vs analytic {}",
+                sol.strategy_cdf(x),
+                analytic.cdf(x)
+            );
+        }
+    }
+
+    #[test]
+    fn paper_ra_formulation_recovers_thm3_value() {
+        // Under the paper's own formulation (support [0, B/(k−1)], outside
+        // mass costed against B), the game value is Theorem 3's ratio.
+        for k in [3usize, 4] {
+            let c = Conflict::chain(B, k);
+            let sol = solve_conflict_game_with(
+                ResolutionMode::RequestorAborts,
+                &c,
+                80,
+                81,
+                80_000,
+                Formulation::PaperRa,
+            );
+            let analytic = rand_ra_ratio(k);
+            assert!(
+                (sol.value() - analytic).abs() < 0.1,
+                "k={k}: paper-RA game value {} vs Thm 3 {analytic}",
+                sol.value()
+            );
+        }
+    }
+
+    #[test]
+    fn natural_ra_game_is_k2_game_for_every_k() {
+        // The (k−1) factors cancel in cost/OPT under the natural offline
+        // optimum, so the RA game value is e/(e−1) regardless of k — i.e.
+        // Theorem 3's restricted-support strategy is dominated for k ≥ 3
+        // in the natural model (DESIGN.md deviation 4).
+        let limit = rand_ra_ratio(2);
+        for k in [3usize, 5] {
+            let c = Conflict::chain(B, k);
+            let sol = solve_conflict_game(ResolutionMode::RequestorAborts, &c, 80, 81, 80_000);
+            assert!(
+                (sol.value() - limit).abs() < 0.06,
+                "k={k}: natural RA game value {} vs e/(e-1) {limit}",
+                sol.value()
+            );
+        }
+    }
+
+    #[test]
+    fn no_strategy_beats_the_game_value() {
+        // Soundness of the lower bound: the deterministic strategies'
+        // ratios must sit at or above the game value.
+        let c = Conflict::pair(B);
+        let sol = solve_conflict_game(ResolutionMode::RequestorWins, &c, 60, 61, 40_000);
+        assert!(tcp_core::competitive::det_rw_ratio(2) >= sol.lower - 0.05);
+        assert!(2.0 >= sol.lower - 0.05);
+    }
+}

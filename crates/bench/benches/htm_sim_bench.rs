@@ -1,0 +1,36 @@
+//! Benchmark of the HTM simulator: simulated cycles per wall-clock second
+//! under contention (speed of the substrate itself).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use tcp_core::policy::NoDelay;
+use tcp_core::randomized::RandRw;
+use tcp_htm_sim::config::SimConfig;
+use tcp_htm_sim::sim::Simulator;
+use tcp_workloads::programs::{StackWorkload, TxAppWorkload};
+
+fn bench_sim(crit: &mut Criterion) {
+    let mut group = crit.benchmark_group("htm_sim");
+    group.sample_size(10);
+    group.bench_function("stack_8c_100k_rand", |b| {
+        b.iter(|| {
+            let mut cfg = SimConfig::new(8, Arc::new(RandRw));
+            cfg.horizon = 100_000;
+            let mut sim = Simulator::new(cfg, Arc::new(StackWorkload::default()));
+            black_box(sim.run().commits())
+        })
+    });
+    group.bench_function("txapp_16c_100k_nodelay", |b| {
+        b.iter(|| {
+            let mut cfg = SimConfig::new(16, Arc::new(NoDelay::requestor_wins()));
+            cfg.horizon = 100_000;
+            let mut sim = Simulator::new(cfg, Arc::new(TxAppWorkload::default()));
+            black_box(sim.run().commits())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Microbenchmark: per-conflict overhead of each policy's grace-period
+//! sampling (the code that would run inside the coherence controller).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tcp_core::conflict::Conflict;
+use tcp_core::policy::{DetRw, GracePolicy, HandTuned, NoDelay};
+use tcp_core::randomized::{Hybrid, RandRa, RandRaMean, RandRw, RandRwMean};
+use tcp_core::rng::Xoshiro256StarStar;
+
+fn bench_policies(crit: &mut Criterion) {
+    let mut group = crit.benchmark_group("policy_sampling");
+    let c2 = Conflict::pair(2000.0);
+    let c6 = Conflict::chain(2000.0, 6);
+    let policies: Vec<(&str, Box<dyn GracePolicy>)> = vec![
+        ("no_delay", Box::new(NoDelay::requestor_wins())),
+        (
+            "hand_tuned",
+            Box::new(HandTuned::new(
+                tcp_core::conflict::ResolutionMode::RequestorWins,
+                500.0,
+            )),
+        ),
+        ("det_rw", Box::new(DetRw)),
+        ("rand_rw", Box::new(RandRw)),
+        ("rand_ra", Box::new(RandRa)),
+        ("rand_rw_mean", Box::new(RandRwMean::new(500.0))),
+        ("rand_ra_mean", Box::new(RandRaMean::new(500.0))),
+        ("hybrid", Box::new(Hybrid::new(Some(500.0)))),
+    ];
+    for (name, p) in &policies {
+        let mut rng = Xoshiro256StarStar::new(1);
+        group.bench_function(format!("{name}/k2"), |b| {
+            b.iter(|| black_box(p.grace(black_box(&c2), &mut rng)))
+        });
+        let mut rng6 = Xoshiro256StarStar::new(2);
+        group.bench_function(format!("{name}/k6"), |b| {
+            b.iter(|| black_box(p.grace(black_box(&c6), &mut rng6)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Benchmark of the STM runtime: uncontended transaction latency and
+//! contended counter throughput per policy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tcp_core::policy::NoDelay;
+use tcp_core::randomized::RandRa;
+use tcp_core::rng::Xoshiro256StarStar;
+use tcp_stm::runtime::{Stm, TxCtx};
+
+fn bench_stm(crit: &mut Criterion) {
+    let mut group = crit.benchmark_group("stm");
+    let stm = Stm::new(64, 1);
+    group.bench_function("uncontended_rmw", |b| {
+        let mut t = TxCtx::new(
+            &stm,
+            0,
+            NoDelay::requestor_aborts(),
+            Box::new(Xoshiro256StarStar::new(1)),
+        );
+        b.iter(|| {
+            t.run(|tx| {
+                let v = tx.read(0)?;
+                tx.write(0, black_box(v + 1))
+            })
+        })
+    });
+    group.bench_function("uncontended_read_only", |b| {
+        let mut t = TxCtx::new(&stm, 0, RandRa, Box::new(Xoshiro256StarStar::new(2)));
+        b.iter(|| t.run(|tx| tx.read(black_box(7))))
+    });
+    group.bench_function("uncontended_8_word_txn", |b| {
+        let mut t = TxCtx::new(&stm, 0, RandRa, Box::new(Xoshiro256StarStar::new(3)));
+        b.iter(|| {
+            t.run(|tx| {
+                for a in 8..16 {
+                    let v = tx.read(a)?;
+                    tx.write(a, v + 1)?;
+                }
+                Ok(())
+            })
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stm);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Benchmark of the §8.1 synthetic testbed itself: conflicts evaluated per
+//! second per strategy (the harness must be fast enough for the 200k-trial
+//! figures).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tcp_core::randomized::{RandRa, RandRw};
+use tcp_workloads::dist::Exponential;
+use tcp_workloads::synthetic::{run_synthetic, RemainingTime, SyntheticConfig};
+
+fn bench_synthetic(crit: &mut Criterion) {
+    let mut group = crit.benchmark_group("synthetic");
+    group.sample_size(20);
+    let dist = Exponential::with_mean(500.0);
+    let cfg = SyntheticConfig {
+        abort_cost: 2000.0,
+        chain: 2,
+        trials: 10_000,
+        seed: 1,
+    };
+    group.bench_function("rand_rw_10k_trials", |b| {
+        b.iter(|| {
+            black_box(run_synthetic(
+                &cfg,
+                &RemainingTime::FromLengths(&dist),
+                &RandRw,
+            ))
+        })
+    });
+    group.bench_function("rand_ra_10k_trials", |b| {
+        b.iter(|| {
+            black_box(run_synthetic(
+                &cfg,
+                &RemainingTime::FromLengths(&dist),
+                &RandRa,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_synthetic);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Extension: does reporting the measured conflict-chain length k to the
+//! policy help in the simulator? The paper's hardware always assumes k = 2;
+//! the chain-aware variant samples from the k-specific distributions.
+
+use std::sync::Arc;
+use tcp_bench::table;
+use tcp_core::policy::DetRw;
+use tcp_core::policy::GracePolicy;
+use tcp_core::randomized::RandRw;
+use tcp_htm_sim::config::SimConfig;
+use tcp_htm_sim::sim::Simulator;
+use tcp_workloads::programs::StackWorkload;
+
+fn main() {
+    let horizon = if table::quick() { 100_000 } else { 600_000 };
+    println!("# chain_ablation: stack workload, horizon={horizon}");
+    table::header(&[
+        "policy",
+        "chain_aware",
+        "threads",
+        "ops_per_sec",
+        "aborts_per_commit",
+        "mean_k",
+    ]);
+    for threads in [4usize, 12, 18] {
+        for aware in [false, true] {
+            for (name, policy) in [
+                ("DELAY_RAND", Arc::new(RandRw) as Arc<dyn GracePolicy>),
+                ("DELAY_DET", Arc::new(DetRw) as Arc<dyn GracePolicy>),
+            ] {
+                let mut cfg = SimConfig::new(threads, policy);
+                cfg.horizon = horizon;
+                cfg.chain_aware = aware;
+                let mut sim = Simulator::new(cfg, Arc::new(StackWorkload::default()));
+                sim.run();
+                let s = &sim.stats;
+                let total_chains: u64 = s.chain_hist.iter().sum();
+                let mean_k: f64 = if total_chains == 0 {
+                    0.0
+                } else {
+                    s.chain_hist
+                        .iter()
+                        .enumerate()
+                        .map(|(k, &n)| k as f64 * n as f64)
+                        .sum::<f64>()
+                        / total_chains as f64
+                };
+                table::row(&[
+                    name.into(),
+                    aware.to_string(),
+                    threads.to_string(),
+                    table::num(s.ops_per_second(1.0)),
+                    table::num(s.abort_ratio()),
+                    table::num(mean_k),
+                ]);
+            }
+        }
+    }
+}

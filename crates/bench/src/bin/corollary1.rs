@@ -1,0 +1,57 @@
+//! Corollary 1: the sum of running times of the online algorithm vs the
+//! perfect-information offline optimum, under the §6 adversarial conflict
+//! model, against the (2w+1)/(w+1) bound.
+
+use tcp_analysis::global_model::{
+    run_global, EarlyStrike, GlobalConfig, InterruptAdversary, LateStrike, UniformStrike,
+};
+use tcp_bench::table;
+use tcp_core::policy::GracePolicy;
+use tcp_core::randomized::{RandRa, RandRw};
+use tcp_workloads::dist::Exponential;
+
+fn main() {
+    let lens = Exponential::with_mean(400.0);
+    let txns = table::scaled(20_000);
+    println!("# corollary1: 8 threads, exp(400) lengths, cleanup=100, k=2");
+    table::header(&[
+        "policy",
+        "adversary",
+        "conflicts/txn",
+        "waste_w",
+        "ratio",
+        "bound_(2w+1)/(w+1)",
+    ]);
+    let advs: Vec<Box<dyn InterruptAdversary>> = vec![
+        Box::new(UniformStrike),
+        Box::new(EarlyStrike),
+        Box::new(LateStrike),
+    ];
+    for cpt in [0.2, 1.0, 3.0] {
+        for adv in &advs {
+            for (p, name) in [
+                (&RandRw as &dyn GracePolicy, "RRW"),
+                (&RandRa as &dyn GracePolicy, "RRA"),
+            ] {
+                let cfg = GlobalConfig {
+                    threads: 8,
+                    txns_per_thread: txns / 8,
+                    lengths: &lens,
+                    conflicts_per_txn: cpt,
+                    cleanup: 100.0,
+                    chain: 2,
+                    seed: 0xC0 + (cpt * 10.0) as u64,
+                };
+                let r = run_global(&cfg, adv.as_ref(), p);
+                table::row(&[
+                    name.into(),
+                    adv.name(),
+                    table::num(cpt),
+                    table::num(r.waste),
+                    table::num(r.ratio),
+                    table::num(r.bound),
+                ]);
+            }
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Corollary 2: with multiplicative abort-cost inflation, a transaction of
+//! length y facing γ conflicts per attempt commits within
+//! log y + log γ + log k − log B + 2 attempts with probability ≥ 1/2.
+
+use tcp_analysis::progress_exp::{run_progress, ProgressConfig};
+use tcp_bench::table;
+use tcp_core::randomized::{RandRa, RandRw};
+
+fn main() {
+    let trials = table::scaled(3_000);
+    table::header(&[
+        "policy",
+        "y",
+        "gamma",
+        "B",
+        "bound",
+        "P[within_bound]",
+        "mean_attempts",
+    ]);
+    for (y, gamma, b) in [
+        (200.0, 4usize, 50.0),
+        (1000.0, 2, 25.0),
+        (400.0, 8, 100.0),
+        (5000.0, 4, 50.0),
+    ] {
+        let cfg = ProgressConfig {
+            y,
+            gamma,
+            b,
+            k: 2,
+            max_attempts: 400,
+        };
+        let rw = run_progress(&cfg, RandRw, trials, 42);
+        let ra = run_progress(&cfg, RandRa, trials, 43);
+        for (name, r) in [("RRW", rw), ("RRA", ra)] {
+            let mean = r.attempts.iter().map(|&a| a as f64).sum::<f64>() / r.attempts.len() as f64;
+            table::row(&[
+                name.into(),
+                table::num(y),
+                gamma.to_string(),
+                table::num(b),
+                table::num(r.bound),
+                table::num(r.frac_within_bound),
+                table::num(mean),
+            ]);
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! Figure 2a: average conflict cost of each strategy under five length
+//! distributions, in the **high fixed cost** regime (B = 2000, µ = 500).
+//!
+//! Paper observations this table reproduces: DET is near-optimal (it almost
+//! never aborts when B ≫ µ); the mean-aware strategies RRW(µ)/RRA(µ) beat
+//! their unconstrained counterparts because µ/B = 0.25 is below both
+//! thresholds; RRW ≈ 2×OPT and RRA ≈ e/(e−1)×OPT.
+
+use tcp_bench::fig2::run_figure2_panel;
+use tcp_workloads::synthetic::SyntheticConfig;
+
+fn main() {
+    run_figure2_panel("fig2a", SyntheticConfig::figure2a(), 500.0);
+}

@@ -1,0 +1,15 @@
+//! Figure 2b: average conflict cost in the **low fixed cost** regime
+//! (B = 200, µ = 500).
+//!
+//! Paper observations: DET degrades (it aborts often when B < µ); the
+//! mean-aware and unconstrained randomized strategies perform similarly
+//! because µ/B = 2.5 exceeds both thresholds (the constraint no longer
+//! binds); the requestor-aborts strategies beat their requestor-wins
+//! counterparts.
+
+use tcp_bench::fig2::run_figure2_panel;
+use tcp_workloads::synthetic::SyntheticConfig;
+
+fn main() {
+    run_figure2_panel("fig2b", SyntheticConfig::figure2b(), 500.0);
+}

@@ -1,0 +1,43 @@
+//! Figure 2c: average cost when the adversary uses the worst-case
+//! distribution for the deterministic strategy — a point mass just above
+//! DET's abort point B/(k−1).
+//!
+//! Paper observation: DET pays (2 + 1/(k−1))·OPT = 3·OPT at k = 2, while
+//! the randomized strategies stay at their (better) ratios.
+
+use tcp_bench::table;
+use tcp_core::policy::{DetRw, GracePolicy, NoDelay};
+use tcp_core::randomized::{RandRa, RandRaMean, RandRw, RandRwMean};
+use tcp_workloads::synthetic::{
+    det_worst_case_remaining, run_synthetic, RemainingTime, SyntheticConfig,
+};
+
+fn main() {
+    let mut cfg = SyntheticConfig::figure2a();
+    cfg.trials = table::scaled(cfg.trials);
+    let mu = 500.0;
+    let d = det_worst_case_remaining(&cfg);
+    println!(
+        "# fig2c: B={}, worst-case D={d:.1}, trials={}",
+        cfg.abort_cost, cfg.trials
+    );
+    let policies: Vec<Box<dyn GracePolicy>> = vec![
+        Box::new(RandRwMean::new(mu)),
+        Box::new(RandRaMean::new(mu)),
+        Box::new(RandRw),
+        Box::new(RandRa),
+        Box::new(DetRw),
+        Box::new(NoDelay::requestor_wins()),
+    ];
+    table::header(&["strategy", "mean_cost", "OPT", "ratio"]);
+    let rem = RemainingTime::Fixed(d);
+    for p in policies {
+        let r = run_synthetic(&cfg, &rem, p.as_ref());
+        table::row(&[
+            p.name(),
+            table::num(r.mean_cost),
+            table::num(r.mean_opt),
+            table::num(r.ratio),
+        ]);
+    }
+}

@@ -1,0 +1,14 @@
+//! Figure 3 (bimodal panel): the transactional application alternating
+//! short and very long transactions.
+//!
+//! Paper shape: hand-tuning loses (the mean mispredicts both modes);
+//! NO_DELAY stays respectable (it favours short transactions); the
+//! randomized strategy is robust.
+
+use std::sync::Arc;
+use tcp_bench::fig3::run_figure3_panel;
+use tcp_workloads::programs::BimodalWorkload;
+
+fn main() {
+    run_figure3_panel("fig3_bimodal", Arc::new(BimodalWorkload::default()));
+}

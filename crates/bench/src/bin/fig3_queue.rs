@@ -1,0 +1,12 @@
+//! Figure 3 (queue panel): transactional queue throughput vs thread count.
+//!
+//! Two hotspots (head and tail) instead of one: about half the contention
+//! of the stack, same qualitative ordering of strategies.
+
+use std::sync::Arc;
+use tcp_bench::fig3::run_figure3_panel;
+use tcp_workloads::programs::QueueWorkload;
+
+fn main() {
+    run_figure3_panel("fig3_queue", Arc::new(QueueWorkload::default()));
+}

@@ -1,0 +1,14 @@
+//! Figure 3 (stack panel): transactional stack throughput vs thread count
+//! for NO_DELAY / DELAY_TUNED / DELAY_DET / DELAY_RAND.
+//!
+//! Paper shape: all delay strategies hold near the single-thread rate
+//! (serializing cleanly on the hot top-of-stack line) while NO_DELAY
+//! collapses under contention.
+
+use std::sync::Arc;
+use tcp_bench::fig3::run_figure3_panel;
+use tcp_workloads::programs::StackWorkload;
+
+fn main() {
+    run_figure3_panel("fig3_stack", Arc::new(StackWorkload::default()));
+}

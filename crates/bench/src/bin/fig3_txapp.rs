@@ -1,0 +1,10 @@
+//! Figure 3 (transactional application panel): transactions jointly acquire
+//! and modify 2 of 64 shared objects; uniform body lengths.
+
+use std::sync::Arc;
+use tcp_bench::fig3::run_figure3_panel;
+use tcp_workloads::programs::TxAppWorkload;
+
+fn main() {
+    run_figure3_panel("fig3_txapp", Arc::new(TxAppWorkload::default()));
+}

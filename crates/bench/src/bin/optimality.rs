@@ -1,0 +1,71 @@
+//! Numeric optimality check: solve the discretized conflict game by
+//! fictitious play and compare the game value (the best achievable
+//! competitive ratio) with the analytic ratios of Theorems 1/3/5/6.
+//!
+//! For requestor-aborts chains (k >= 3) two formulations are solved:
+//! the paper's Theorem 3 game (support and adversary restricted to
+//! [0, B/(k-1)], outside mass costed against OPT = B) whose value matches
+//! Theorem 3, and the physically natural game (OPT = (k-1)min(y, B)) whose
+//! value is e/(e-1) for every k — the (k-1) factors cancel, so the
+//! unrestricted k=2 exponential dominates Theorem 3's strategy there
+//! (DESIGN.md deviation 4).
+
+use tcp_analysis::game_solver::{solve_conflict_game_with, Formulation};
+use tcp_bench::table;
+use tcp_core::competitive::{rand_ra_ratio, rand_rw_ratio};
+use tcp_core::conflict::{Conflict, ResolutionMode};
+
+fn main() {
+    let b = 100.0;
+    let iters = table::scaled(300_000);
+    println!("# optimality: fictitious play, 100x101 grid, {iters} iterations, B={b}");
+    table::header(&["game", "k", "value_lo", "value_hi", "analytic"]);
+    for k in 2..=6usize {
+        let c = Conflict::chain(b, k);
+        let rw = solve_conflict_game_with(
+            ResolutionMode::RequestorWins,
+            &c,
+            100,
+            101,
+            iters,
+            Formulation::Natural,
+        );
+        table::row(&[
+            "RW (Thm 5/6)".into(),
+            k.to_string(),
+            table::num(rw.lower),
+            table::num(rw.upper),
+            table::num(rand_rw_ratio(k)),
+        ]);
+        let ra_paper = solve_conflict_game_with(
+            ResolutionMode::RequestorAborts,
+            &c,
+            100,
+            101,
+            iters,
+            Formulation::PaperRa,
+        );
+        table::row(&[
+            "RA paper-form (Thm 3)".into(),
+            k.to_string(),
+            table::num(ra_paper.lower),
+            table::num(ra_paper.upper),
+            table::num(rand_ra_ratio(k)),
+        ]);
+        let ra_nat = solve_conflict_game_with(
+            ResolutionMode::RequestorAborts,
+            &c,
+            100,
+            101,
+            iters,
+            Formulation::Natural,
+        );
+        table::row(&[
+            "RA natural".into(),
+            k.to_string(),
+            table::num(ra_nat.lower),
+            table::num(ra_nat.upper),
+            table::num(rand_ra_ratio(2)),
+        ]);
+    }
+}

@@ -1,0 +1,54 @@
+//! Extension: delay strategies and tail latency. Immediate aborts waste
+//! work but spread it evenly; grace periods serialize cleanly but make a
+//! queued transaction wait. Who has the better p50/p99/p99.9?
+
+use std::sync::Arc;
+use tcp_bench::table;
+use tcp_core::conflict::ResolutionMode;
+use tcp_core::policy::{DetRw, HandTuned};
+use tcp_core::policy::{GracePolicy, NoDelay};
+use tcp_core::randomized::RandRw;
+use tcp_htm_sim::config::SimConfig;
+use tcp_htm_sim::sim::Simulator;
+use tcp_workloads::programs::{StackWorkload, WorkloadGen};
+
+fn main() {
+    let horizon = if table::quick() { 150_000 } else { 1_000_000 };
+    let threads = 12;
+    let w = StackWorkload::default();
+    println!("# tail_latency: stack, {threads} cores, horizon={horizon} (latencies in cycles)");
+    table::header(&["policy", "commits", "p50", "p99", "p99.9", "max"]);
+    for (name, policy) in [
+        (
+            "NO_DELAY",
+            Arc::new(NoDelay::requestor_wins()) as Arc<dyn GracePolicy>,
+        ),
+        (
+            "DELAY_TUNED",
+            Arc::new(HandTuned::new(
+                ResolutionMode::RequestorWins,
+                w.tuned_delay(),
+            )),
+        ),
+        ("DELAY_DET", Arc::new(DetRw) as Arc<dyn GracePolicy>),
+        ("DELAY_RAND", Arc::new(RandRw) as Arc<dyn GracePolicy>),
+    ] {
+        let mut cfg = SimConfig::new(threads, policy);
+        cfg.horizon = horizon;
+        let mut sim = Simulator::new(cfg, Arc::new(w));
+        sim.run();
+        let commits = sim.stats.commits();
+        let p50 = sim.stats.latency_percentile(50.0);
+        let p99 = sim.stats.latency_percentile(99.0);
+        let p999 = sim.stats.latency_percentile(99.9);
+        let max = sim.stats.latency_percentile(100.0);
+        table::row(&[
+            name.into(),
+            commits.to_string(),
+            p50.to_string(),
+            p99.to_string(),
+            p999.to_string(),
+            max.to_string(),
+        ]);
+    }
+}

@@ -1,0 +1,175 @@
+//! `tcp` — the command-line driver for the whole workspace.
+//!
+//! ```text
+//! tcp sim       --workload stack --policy rand-rw --threads 8 [--horizon N]
+//!               [--mode rw|ra] [--mesh] [--per-hop N] [--chain-aware]
+//!               [--no-backoff] [--seed N] [--mu F] [--delay F] [--skew F]
+//! tcp synthetic --policy rand-ra --b 2000 --mu 500 [--dist exponential]
+//!               [--trials N] [--k N] [--seed N]
+//! tcp game      --mode rw --k 3 [--iters N] [--paper-ra]
+//! tcp list      # available policies, workloads, distributions
+//! ```
+
+use tcp_analysis::game_solver::{solve_conflict_game_with, Formulation};
+use tcp_bench::cli::{make_mode, make_policy, make_workload, Flags, POLICY_NAMES, WORKLOAD_NAMES};
+use tcp_bench::table;
+use tcp_core::conflict::{Conflict, ResolutionMode};
+use tcp_htm_sim::config::SimConfig;
+use tcp_htm_sim::noc::Mesh;
+use tcp_htm_sim::sim::Simulator;
+use tcp_workloads::dist::{Exponential, Geometric, LengthDist, Normal, Poisson, Uniform};
+use tcp_workloads::synthetic::{run_synthetic, RemainingTime, SyntheticConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match run(&args) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run `tcp help` for usage");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err("missing subcommand (sim | synthetic | game | list | help)".into());
+    };
+    match cmd.as_str() {
+        "sim" => cmd_sim(&Flags::parse(rest)?),
+        "synthetic" => cmd_synthetic(&Flags::parse(rest)?),
+        "game" => cmd_game(&Flags::parse(rest)?),
+        "list" => {
+            println!("policies:  {}", POLICY_NAMES.join(", "));
+            println!("workloads: {}", WORKLOAD_NAMES.join(", "));
+            println!("dists:     geometric, normal, uniform, exponential, poisson");
+            Ok(())
+        }
+        "help" | "--help" | "-h" => {
+            println!("{}", HELP);
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand '{other}'")),
+    }
+}
+
+const HELP: &str = "tcp — transactional conflict problem driver
+  tcp sim       --workload stack --policy rand-rw --threads 8 [--horizon N]
+                [--mode rw|ra] [--mesh] [--per-hop N] [--chain-aware]
+                [--no-backoff] [--seed N] [--mu F] [--delay F] [--skew F]
+  tcp synthetic --policy rand-ra --b 2000 --mu 500 [--dist exponential]
+                [--trials N] [--k N] [--seed N]
+  tcp game      --mode rw --k 3 [--iters N] [--paper-ra]
+  tcp list";
+
+fn cmd_sim(f: &Flags) -> Result<(), String> {
+    let threads: usize = f.num("threads", 8)?;
+    let horizon: u64 = f.num("horizon", 1_000_000)?;
+    let mu: f64 = f.num("mu", 500.0)?;
+    let skew: f64 = f.num("skew", 0.9)?;
+    let workload = make_workload(f.get("workload").unwrap_or("stack"), skew)?;
+    let delay: f64 = f.num("delay", workload.tuned_delay())?;
+    let policy = make_policy(f.get("policy").unwrap_or("rand-rw"), mu, delay)?;
+    let mut cfg = SimConfig::new(threads, policy);
+    cfg.horizon = horizon;
+    cfg.seed = f.num("seed", 0xC0FFEE)?;
+    cfg.mode = make_mode(f.get("mode").unwrap_or("rw"))?;
+    cfg.backoff = !f.flag("no-backoff");
+    cfg.chain_aware = f.flag("chain-aware");
+    if f.flag("mesh") {
+        cfg.mesh = Some(Mesh::for_cores(threads, f.num("per-hop", 2)?));
+    }
+    let mut sim = Simulator::new(cfg, workload);
+    sim.run();
+    let s = &mut sim.stats;
+    table::header(&[
+        "commits",
+        "aborts",
+        "conflicts",
+        "saved_by_delay",
+        "ops_per_sec",
+        "p50",
+        "p99",
+    ]);
+    let (commits, aborts, conflicts, saved, ops) = (
+        s.commits(),
+        s.aborts(),
+        s.conflicts,
+        s.saved_by_delay,
+        s.ops_per_second(1.0),
+    );
+    let (p50, p99) = (s.latency_percentile(50.0), s.latency_percentile(99.0));
+    table::row(&[
+        commits.to_string(),
+        aborts.to_string(),
+        conflicts.to_string(),
+        saved.to_string(),
+        table::num(ops),
+        p50.to_string(),
+        p99.to_string(),
+    ]);
+    Ok(())
+}
+
+fn cmd_synthetic(f: &Flags) -> Result<(), String> {
+    let b: f64 = f.num("b", 2000.0)?;
+    let mu: f64 = f.num("mu", 500.0)?;
+    let k: usize = f.num("k", 2)?;
+    let trials: usize = f.num("trials", 200_000)?;
+    let policy = make_policy(f.get("policy").unwrap_or("rand-rw"), mu, mu)?;
+    let dist: Box<dyn LengthDist> = match f.get("dist").unwrap_or("exponential") {
+        "geometric" => Box::new(Geometric::with_mean(mu)),
+        "normal" => Box::new(Normal::with_mean(mu)),
+        "uniform" => Box::new(Uniform::with_mean(mu)),
+        "exponential" => Box::new(Exponential::with_mean(mu)),
+        "poisson" => Box::new(Poisson::with_mean(mu)),
+        other => return Err(format!("unknown dist '{other}'")),
+    };
+    let cfg = SyntheticConfig {
+        abort_cost: b,
+        chain: k,
+        trials,
+        seed: f.num("seed", 42)?,
+    };
+    let r = run_synthetic(
+        &cfg,
+        &RemainingTime::FromLengths(dist.as_ref()),
+        policy.as_ref(),
+    );
+    table::header(&["policy", "mean_cost", "mean_opt", "ratio", "abort_rate"]);
+    table::row(&[
+        policy.name(),
+        table::num(r.mean_cost),
+        table::num(r.mean_opt),
+        table::num(r.ratio),
+        table::num(r.abort_rate),
+    ]);
+    Ok(())
+}
+
+fn cmd_game(f: &Flags) -> Result<(), String> {
+    let k: usize = f.num("k", 2)?;
+    let b: f64 = f.num("b", 100.0)?;
+    let iters: usize = f.num("iters", 200_000)?;
+    let mode = make_mode(f.get("mode").unwrap_or("rw"))?;
+    let formulation = if f.flag("paper-ra") {
+        if mode != ResolutionMode::RequestorAborts {
+            return Err("--paper-ra only applies to --mode ra".into());
+        }
+        Formulation::PaperRa
+    } else {
+        Formulation::Natural
+    };
+    let c = Conflict::chain(b, k);
+    let sol = solve_conflict_game_with(mode, &c, 100, 101, iters, formulation);
+    table::header(&["mode", "k", "value_lo", "value_hi"]);
+    table::row(&[
+        mode.label().into(),
+        k.to_string(),
+        table::num(sol.lower),
+        table::num(sol.upper),
+    ]);
+    Ok(())
+}

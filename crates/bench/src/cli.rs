@@ -1,0 +1,188 @@
+//! Argument parsing for the `tcp` CLI driver (no external parser crates —
+//! flags are simple `--key value` pairs).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use tcp_core::conflict::ResolutionMode;
+use tcp_core::policy::{DetRa, DetRw, GracePolicy, HandTuned, NoDelay};
+use tcp_core::randomized::{Hybrid, RandRa, RandRaMean, RandRw, RandRwMean, RandRwUniform};
+use tcp_workloads::programs::{
+    BimodalWorkload, ListWorkload, QueueWorkload, SkewedTxAppWorkload, StackWorkload,
+    TxAppWorkload, WorkloadGen,
+};
+
+/// Parsed `--key value` flags (keys stored without the `--`).
+#[derive(Debug, Default, Clone)]
+pub struct Flags {
+    map: BTreeMap<String, String>,
+}
+
+impl Flags {
+    /// Parse a flat argument list. Flags look like `--key value`; a flag
+    /// followed by another flag (or nothing) gets the value `"true"`.
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let mut map = BTreeMap::new();
+        let mut i = 0;
+        while i < args.len() {
+            let a = &args[i];
+            let Some(key) = a.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument: {a}"));
+            };
+            if key.is_empty() {
+                return Err("empty flag name".into());
+            }
+            let value = match args.get(i + 1) {
+                Some(v) if !v.starts_with("--") => {
+                    i += 1;
+                    v.clone()
+                }
+                _ => "true".to_string(),
+            };
+            map.insert(key.to_string(), value);
+            i += 1;
+        }
+        Ok(Self { map })
+    }
+
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.map.get(key).map(String::as_str)
+    }
+
+    pub fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key}: cannot parse '{v}'")),
+        }
+    }
+
+    pub fn flag(&self, key: &str) -> bool {
+        matches!(self.get(key), Some("true") | Some("1") | Some("yes"))
+    }
+}
+
+/// Known policy names, for `tcp list` and error messages.
+pub const POLICY_NAMES: &[&str] = &[
+    "no-delay",
+    "no-delay-ra",
+    "tuned",
+    "det",
+    "det-ra",
+    "rand-rw",
+    "rand-rw-uniform",
+    "rand-ra",
+    "rand-rw-mean",
+    "rand-ra-mean",
+    "hybrid",
+];
+
+/// Build a policy from its CLI name. `mu` feeds the mean-aware variants;
+/// `delay` feeds `tuned`.
+pub fn make_policy(name: &str, mu: f64, delay: f64) -> Result<Arc<dyn GracePolicy>, String> {
+    Ok(match name {
+        "no-delay" => Arc::new(NoDelay::requestor_wins()),
+        "no-delay-ra" => Arc::new(NoDelay::requestor_aborts()),
+        "tuned" => Arc::new(HandTuned::new(ResolutionMode::RequestorWins, delay)),
+        "det" => Arc::new(DetRw),
+        "det-ra" => Arc::new(DetRa),
+        "rand-rw" => Arc::new(RandRw),
+        "rand-rw-uniform" => Arc::new(RandRwUniform),
+        "rand-ra" => Arc::new(RandRa),
+        "rand-rw-mean" => Arc::new(RandRwMean::new(mu)),
+        "rand-ra-mean" => Arc::new(RandRaMean::new(mu)),
+        "hybrid" => Arc::new(Hybrid::new(Some(mu))),
+        other => {
+            return Err(format!(
+                "unknown policy '{other}'; one of: {}",
+                POLICY_NAMES.join(", ")
+            ))
+        }
+    })
+}
+
+/// Known workload names.
+pub const WORKLOAD_NAMES: &[&str] = &["stack", "queue", "txapp", "bimodal", "list", "txapp-skewed"];
+
+/// Build a simulator workload from its CLI name. `skew` feeds
+/// `txapp-skewed`.
+pub fn make_workload(name: &str, skew: f64) -> Result<Arc<dyn WorkloadGen>, String> {
+    Ok(match name {
+        "stack" => Arc::new(StackWorkload::default()),
+        "queue" => Arc::new(QueueWorkload::default()),
+        "txapp" => Arc::new(TxAppWorkload::default()),
+        "bimodal" => Arc::new(BimodalWorkload::default()),
+        "list" => Arc::new(ListWorkload::default()),
+        "txapp-skewed" => Arc::new(SkewedTxAppWorkload::new(64, skew)),
+        other => {
+            return Err(format!(
+                "unknown workload '{other}'; one of: {}",
+                WORKLOAD_NAMES.join(", ")
+            ))
+        }
+    })
+}
+
+/// Parse a resolution mode.
+pub fn make_mode(name: &str) -> Result<ResolutionMode, String> {
+    match name {
+        "rw" | "requestor-wins" => Ok(ResolutionMode::RequestorWins),
+        "ra" | "requestor-aborts" => Ok(ResolutionMode::RequestorAborts),
+        other => Err(format!("unknown mode '{other}' (rw | ra)")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parse_key_values_and_bare_flags() {
+        let f = Flags::parse(&args("--threads 8 --mesh --seed 42")).unwrap();
+        assert_eq!(f.num::<usize>("threads", 1).unwrap(), 8);
+        assert!(f.flag("mesh"));
+        assert_eq!(f.num::<u64>("seed", 0).unwrap(), 42);
+        assert_eq!(f.num::<u64>("horizon", 777).unwrap(), 777); // default
+        assert!(!f.flag("quick"));
+    }
+
+    #[test]
+    fn parse_rejects_positionals_and_bad_numbers() {
+        assert!(Flags::parse(&args("stack --threads 8")).is_err());
+        let f = Flags::parse(&args("--threads eight")).unwrap();
+        assert!(f.num::<usize>("threads", 1).is_err());
+    }
+
+    #[test]
+    fn all_policy_names_construct() {
+        for name in POLICY_NAMES {
+            let p = make_policy(name, 500.0, 100.0).unwrap();
+            assert!(!p.name().is_empty());
+        }
+        assert!(make_policy("bogus", 1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn all_workload_names_construct() {
+        for name in WORKLOAD_NAMES {
+            let w = make_workload(name, 0.9).unwrap();
+            assert!(!w.name().is_empty());
+        }
+        assert!(make_workload("bogus", 0.0).is_err());
+    }
+
+    #[test]
+    fn modes_parse() {
+        assert_eq!(make_mode("rw").unwrap(), ResolutionMode::RequestorWins);
+        assert_eq!(
+            make_mode("requestor-aborts").unwrap(),
+            ResolutionMode::RequestorAborts
+        );
+        assert!(make_mode("xx").is_err());
+    }
+}

@@ -1,0 +1,184 @@
+//! Closed-form competitive ratios for every strategy in the paper, used both
+//! by policies to report their guarantees and by the verification harness
+//! (`tcp-analysis`) to compare empirical ratios against theory.
+//!
+//! Notation: `B` abort cost, `k ≥ 2` chain length, `µ` mean of the
+//! adversarial length distribution, `r = (k/(k−1))^{k−1}`.
+
+use crate::pdfs::{chain_r, LN4_MINUS_1};
+
+/// Deterministic requestor-wins (Theorem 4): abort after `B/(k−1)`;
+/// ratio `2 + 1/(k−1)` (3 at `k = 2`).
+pub fn det_rw_ratio(k: usize) -> f64 {
+    2.0 + 1.0 / (k as f64 - 1.0)
+}
+
+/// Deterministic requestor-aborts (classic ski rental): wait `B`; ratio 2.
+pub fn det_ra_ratio(_k: usize) -> f64 {
+    2.0
+}
+
+/// Randomized unconstrained requestor-wins (Theorem 5 / Theorem 6 with
+/// λ₂ = 0): ratio `r/(r−1)` — exactly 2 at `k = 2`, decreasing towards
+/// `e/(e−1)` as the chain grows.
+pub fn rand_rw_ratio(k: usize) -> f64 {
+    let r = chain_r(k);
+    r / (r - 1.0)
+}
+
+/// The plain uniform strategy on `[0, B/(k−1)]` is 2-competitive for every
+/// `k` (Theorem 5 remark).
+pub fn rand_rw_uniform_ratio(_k: usize) -> f64 {
+    2.0
+}
+
+/// Mean-constrained requestor-wins ratio when the constraint binds:
+/// `1 + µ/(2B(ln4−1))` at `k = 2` (Theorem 5),
+/// `1 + µ(k−2)/(2B(r−2))` for `k ≥ 3` (corrected Theorem 6).
+pub fn rand_rw_mean_ratio(k: usize, b: f64, mu: f64) -> f64 {
+    if k == 2 {
+        1.0 + mu / (2.0 * b * LN4_MINUS_1)
+    } else {
+        let r = chain_r(k);
+        1.0 + mu * (k as f64 - 2.0) / (2.0 * b * (r - 2.0))
+    }
+}
+
+/// Whether mean knowledge improves the requestor-wins strategy: the
+/// constrained corner beats the unconstrained one iff its ratio is smaller.
+/// At `k = 2` this is exactly the paper's `µ/B < 2(ln4 − 1)` condition.
+pub fn rw_mean_helps(k: usize, b: f64, mu: f64) -> bool {
+    rand_rw_mean_ratio(k, b, mu) < rand_rw_ratio(k)
+}
+
+/// Randomized unconstrained requestor-aborts (Theorem 1 / Theorem 3):
+/// ratio `e^{1/(k−1)}/(e^{1/(k−1)} − 1)` — the classic `e/(e−1)` at `k = 2`.
+pub fn rand_ra_ratio(k: usize) -> f64 {
+    let e = (1.0 / (k as f64 - 1.0)).exp();
+    e / (e - 1.0)
+}
+
+/// Mean-constrained requestor-aborts ratio when the constraint binds:
+/// `1 + µ(k−1)/(2B·g)` with `g = (k−1)(e^{1/(k−1)}−1) − 1`
+/// (Theorem 2 at `k = 2`: `1 + µ/(2B(e−2))`).
+pub fn rand_ra_mean_ratio(k: usize, b: f64, mu: f64) -> f64 {
+    let km1 = k as f64 - 1.0;
+    let g = km1 * ((1.0 / km1).exp() - 1.0) - 1.0;
+    1.0 + mu * km1 / (2.0 * b * g)
+}
+
+/// Whether mean knowledge improves the requestor-aborts strategy. At
+/// `k = 2` this reduces to Theorem 2's `µ/B < 2(e−2)/(e−1)` condition.
+pub fn ra_mean_helps(k: usize, b: f64, mu: f64) -> bool {
+    rand_ra_mean_ratio(k, b, mu) < rand_ra_ratio(k)
+}
+
+/// Corollary 1: upper bound `(2w+1)/(w+1)` on the global sum-of-running-times
+/// ratio of the 2-competitive randomized requestor-wins strategy, as a
+/// function of the offline waste `w(S) = Σ α_T / Σ ρ_T`.
+pub fn corollary1_bound(waste: f64) -> f64 {
+    (2.0 * waste + 1.0) / (waste + 1.0)
+}
+
+/// §5.3 abort probability comparison: per-conflict density mass at `x = B`
+/// of the mean-constrained strategies (multiplied by `B` it is the paper's
+/// `≈1.8` / `≈2.4` constants).
+pub fn abort_density_at_b_rw() -> f64 {
+    2f64.ln() / LN4_MINUS_1
+}
+
+/// See [`abort_density_at_b_rw`]; requestor-aborts value `(e−1)/(e−2)`.
+pub fn abort_density_at_b_ra() -> f64 {
+    let e = std::f64::consts::E;
+    (e - 1.0) / (e - 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::E;
+
+    #[test]
+    fn ratios_at_k2_match_paper_headlines() {
+        assert!((det_rw_ratio(2) - 3.0).abs() < 1e-12);
+        assert!((det_ra_ratio(2) - 2.0).abs() < 1e-12);
+        assert!((rand_rw_ratio(2) - 2.0).abs() < 1e-12);
+        assert!((rand_ra_ratio(2) - E / (E - 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn det_rw_approaches_2_for_long_chains() {
+        assert!(det_rw_ratio(3) - 2.5 < 1e-12);
+        assert!(det_rw_ratio(100) < 2.02);
+    }
+
+    #[test]
+    fn rand_rw_decreases_to_e_over_e_minus_1() {
+        let mut prev = rand_rw_ratio(2);
+        for k in 3..200 {
+            let r = rand_rw_ratio(k);
+            assert!(r < prev, "ratio must decrease in k");
+            prev = r;
+        }
+        assert!((rand_rw_ratio(5000) - E / (E - 1.0)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn rand_ra_increases_with_k_but_rw_wins_for_long_chains() {
+        // §5.3 / §1: requestor aborts is better at k = 2, but requestor wins
+        // becomes more efficient as chains grow.
+        assert!(rand_ra_ratio(2) < rand_rw_ratio(2));
+        for k in [8, 16, 64] {
+            assert!(
+                rand_rw_ratio(k) < rand_ra_ratio(k),
+                "k={k}: rw {} vs ra {}",
+                rand_rw_ratio(k),
+                rand_ra_ratio(k)
+            );
+        }
+    }
+
+    #[test]
+    fn mean_threshold_matches_paper_k2() {
+        let b = 100.0;
+        // RW: helps iff µ/B < 2(ln4−1)
+        let thr = 2.0 * b * crate::pdfs::LN4_MINUS_1;
+        assert!(rw_mean_helps(2, b, thr - 0.01));
+        assert!(!rw_mean_helps(2, b, thr + 0.01));
+        // RA: helps iff µ/B < 2(e−2)/(e−1)  (Theorem 2)
+        let thr_ra = 2.0 * b * (E - 2.0) / (E - 1.0);
+        assert!(ra_mean_helps(2, b, thr_ra - 0.01));
+        assert!(!ra_mean_helps(2, b, thr_ra + 0.01));
+    }
+
+    #[test]
+    fn mean_ratio_tends_to_1_as_mu_vanishes() {
+        for k in [2usize, 3, 5, 9] {
+            assert!((rand_rw_mean_ratio(k, 100.0, 1e-9) - 1.0).abs() < 1e-9);
+            assert!((rand_ra_mean_ratio(k, 100.0, 1e-9) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ra_beats_rw_with_mean_at_k2() {
+        // §5.3 discussion: 1 + µ/(2B(e−2)) < 1 + µ/(2B(ln4−1)).
+        let (b, mu) = (100.0, 30.0);
+        assert!(rand_ra_mean_ratio(2, b, mu) < rand_rw_mean_ratio(2, b, mu));
+    }
+
+    #[test]
+    fn corollary1_bound_range() {
+        assert!((corollary1_bound(0.0) - 1.0).abs() < 1e-12);
+        assert!(corollary1_bound(1e12) < 2.0 + 1e-9);
+        // increasing in waste
+        assert!(corollary1_bound(2.0) > corollary1_bound(1.0));
+    }
+
+    #[test]
+    fn abort_densities_match_section_5_3() {
+        assert!((abort_density_at_b_rw() - 1.794).abs() < 0.01);
+        assert!((abort_density_at_b_ra() - 2.392).abs() < 0.01);
+        // RA strategy is less likely to abort (larger commit mass at B).
+        assert!(abort_density_at_b_ra() > abort_density_at_b_rw());
+    }
+}

@@ -1,0 +1,153 @@
+//! Probability-density machinery shared by the randomized strategies.
+//!
+//! Every optimal strategy in the paper is an absolutely continuous
+//! distribution on a bounded support `[0, hi]` (possibly with closed-form
+//! CDF). This module provides a small trait with numeric fallbacks —
+//! Simpson integration for normalization checks and monotone bisection for
+//! inverse-CDF sampling — so each strategy only has to state its density.
+
+use rand::RngCore;
+
+use crate::rng::uniform01;
+
+/// A continuous probability density on a bounded support `[0, hi()]`.
+pub trait GracePdf {
+    /// Upper end of the support (lower end is always 0).
+    fn hi(&self) -> f64;
+
+    /// Density `p(x)` for `x ∈ [0, hi]`. Callers must not query outside the
+    /// support.
+    fn density(&self, x: f64) -> f64;
+
+    /// CDF `F(x) = ∫₀ˣ p`. The default integrates numerically; strategies
+    /// with closed-form CDFs override this.
+    fn cdf(&self, x: f64) -> f64 {
+        simpson(|t| self.density(t), 0.0, x.min(self.hi()), 512)
+    }
+
+    /// Inverse CDF at `u ∈ [0, 1]`. The default performs bisection on
+    /// [`GracePdf::cdf`]; strategies with analytic inverses override this.
+    fn quantile(&self, u: f64) -> f64 {
+        debug_assert!((0.0..=1.0).contains(&u));
+        let (mut lo, mut hi) = (0.0, self.hi());
+        // 64 halvings take the bracket below 1 ulp of any practical support.
+        for _ in 0..64 {
+            let mid = 0.5 * (lo + hi);
+            if self.cdf(mid) < u {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+
+    /// Draw a sample by inversion.
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        self.quantile(uniform01(rng))
+    }
+
+    /// Total mass `∫₀^hi p` — should be 1 for a proper distribution. Used by
+    /// the test-suite to validate every strategy (and to demonstrate that
+    /// the paper's literal Theorem 6 coefficients are *not* a distribution).
+    fn total_mass(&self) -> f64 {
+        self.cdf(self.hi())
+    }
+
+    /// Mean of the distribution, by numeric integration.
+    fn mean(&self) -> f64 {
+        simpson(|t| t * self.density(t), 0.0, self.hi(), 512)
+    }
+}
+
+/// Composite Simpson's rule with `n` (even) panels.
+pub fn simpson<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, n: usize) -> f64 {
+    if (b - a).abs() < f64::EPSILON {
+        return 0.0;
+    }
+    let n = if n.is_multiple_of(2) { n } else { n + 1 };
+    let h = (b - a) / n as f64;
+    let mut acc = f(a) + f(b);
+    for i in 1..n {
+        let w = if i % 2 == 1 { 4.0 } else { 2.0 };
+        acc += w * f(a + i as f64 * h);
+    }
+    acc * h / 3.0
+}
+
+/// Expected online cost `E_x[cost(d, x)]` of a randomized strategy whose
+/// grace period is drawn from `pdf`, against a fixed adversarial remaining
+/// time `d`, with per-branch costs supplied by `cost`.
+///
+/// Computed by numeric integration of
+/// `∫ cost(d, x)·p(x) dx` split at the discontinuity `x = d`.
+pub fn expected_cost<P: GracePdf + ?Sized>(pdf: &P, d: f64, cost: impl Fn(f64, f64) -> f64) -> f64 {
+    let hi = pdf.hi();
+    let split = d.min(hi);
+    // x < split: the strategy aborts before the transaction finishes.
+    let abort_part = simpson(|x| cost(d, x) * pdf.density(x), 0.0, split, 1024);
+    // x >= split (only when d <= hi): the transaction commits first.
+    let commit_part = if d <= hi {
+        cost(d, d) * (1.0 - pdf.cdf(d))
+    } else {
+        0.0
+    };
+    abort_part + commit_part
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256StarStar;
+
+    struct Tri; // p(x) = 2x on [0,1]
+    impl GracePdf for Tri {
+        fn hi(&self) -> f64 {
+            1.0
+        }
+        fn density(&self, x: f64) -> f64 {
+            2.0 * x
+        }
+    }
+
+    #[test]
+    fn simpson_exact_for_cubics() {
+        let v = simpson(|x| x * x * x, 0.0, 2.0, 2);
+        assert!((v - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn numeric_cdf_matches_analytic() {
+        let t = Tri;
+        for x in [0.0, 0.25, 0.5, 0.9, 1.0] {
+            assert!((t.cdf(x) - x * x).abs() < 1e-9, "cdf({x})");
+        }
+        assert!((t.total_mass() - 1.0).abs() < 1e-9);
+        assert!((t.mean() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let t = Tri;
+        for u in [0.0, 0.1, 0.5, 0.99, 1.0] {
+            let x = t.quantile(u);
+            assert!((x - u.sqrt()).abs() < 1e-6, "quantile({u}) = {x}");
+        }
+    }
+
+    #[test]
+    fn sampling_matches_distribution_mean() {
+        let t = Tri;
+        let mut rng = Xoshiro256StarStar::new(11);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| t.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0 / 3.0).abs() < 0.01, "sample mean {mean}");
+    }
+
+    #[test]
+    fn expected_cost_constant_cost_is_constant() {
+        let t = Tri;
+        let v = expected_cost(&t, 0.5, |_d, _x| 3.0);
+        assert!((v - 3.0).abs() < 1e-6);
+    }
+}

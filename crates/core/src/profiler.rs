@@ -1,0 +1,221 @@
+//! Online transaction-length profiling (§1 "Extensions"): *"a profiler
+//! which records the empirical mean over all successful executions of a
+//! transaction, and uses this information when deciding the grace period
+//! length."*
+//!
+//! [`MeanProfiler`] is a lock-free exponentially-weighted mean estimator
+//! shared between the commit path (which records lengths) and the
+//! [`AdaptiveMean`] policy (which feeds the estimate to the
+//! mean-constrained strategies as µ).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use rand::RngCore;
+
+use crate::conflict::{Conflict, ResolutionMode};
+use crate::policy::GracePolicy;
+use crate::randomized::{RandRa, RandRaMean, RandRw, RandRwMean};
+
+/// Lock-free EWMA of committed transaction lengths.
+///
+/// Stores the current estimate as `f64` bits in an `AtomicU64`; updates are
+/// racy-but-convergent (a lost update merely skips one sample), which is
+/// the right trade-off for a profiler consulted on every conflict.
+#[derive(Debug)]
+pub struct MeanProfiler {
+    bits: AtomicU64,
+    samples: AtomicU64,
+    /// EWMA weight of a new sample (0 < α ≤ 1).
+    pub alpha: f64,
+}
+
+impl MeanProfiler {
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0);
+        Self {
+            bits: AtomicU64::new(0),
+            samples: AtomicU64::new(0),
+            alpha,
+        }
+    }
+
+    /// Shared handle with the default smoothing (α = 1/16).
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::new(1.0 / 16.0))
+    }
+
+    /// Record the length of a successfully committed transaction.
+    pub fn record_commit(&self, len: f64) {
+        if !(len.is_finite() && len > 0.0) {
+            return;
+        }
+        let n = self.samples.fetch_add(1, Ordering::Relaxed);
+        if n == 0 {
+            self.bits.store(len.to_bits(), Ordering::Relaxed);
+            return;
+        }
+        let cur = f64::from_bits(self.bits.load(Ordering::Relaxed));
+        let next = cur + self.alpha * (len - cur);
+        self.bits.store(next.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current mean estimate, if any commit has been observed.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.load(Ordering::Relaxed) == 0 {
+            None
+        } else {
+            Some(f64::from_bits(self.bits.load(Ordering::Relaxed)))
+        }
+    }
+
+    /// Number of samples recorded.
+    pub fn samples(&self) -> u64 {
+        self.samples.load(Ordering::Relaxed)
+    }
+}
+
+/// A policy that behaves like the unconstrained optimum until the profiler
+/// has seen enough commits, then switches to the mean-constrained optimum
+/// with µ = the profiled mean.
+#[derive(Clone, Debug)]
+pub struct AdaptiveMean {
+    pub mode: ResolutionMode,
+    pub profiler: Arc<MeanProfiler>,
+    /// Commits required before trusting the estimate.
+    pub warmup: u64,
+}
+
+impl AdaptiveMean {
+    pub fn requestor_wins(profiler: Arc<MeanProfiler>) -> Self {
+        Self {
+            mode: ResolutionMode::RequestorWins,
+            profiler,
+            warmup: 32,
+        }
+    }
+
+    pub fn requestor_aborts(profiler: Arc<MeanProfiler>) -> Self {
+        Self {
+            mode: ResolutionMode::RequestorAborts,
+            profiler,
+            warmup: 32,
+        }
+    }
+
+    fn mu(&self) -> Option<f64> {
+        if self.profiler.samples() < self.warmup {
+            None
+        } else {
+            self.profiler.mean().filter(|m| *m > 0.0)
+        }
+    }
+}
+
+impl GracePolicy for AdaptiveMean {
+    fn mode(&self, _c: &Conflict) -> ResolutionMode {
+        self.mode
+    }
+
+    fn grace(&self, c: &Conflict, rng: &mut dyn RngCore) -> f64 {
+        match (self.mode, self.mu()) {
+            (ResolutionMode::RequestorWins, Some(mu)) => RandRwMean::new(mu).grace(c, rng),
+            (ResolutionMode::RequestorWins, None) => RandRw.grace(c, rng),
+            (ResolutionMode::RequestorAborts, Some(mu)) => RandRaMean::new(mu).grace(c, rng),
+            (ResolutionMode::RequestorAborts, None) => RandRa.grace(c, rng),
+        }
+    }
+
+    fn name(&self) -> String {
+        "ADAPTIVE".into()
+    }
+
+    fn competitive_ratio(&self, c: &Conflict) -> Option<f64> {
+        // The guarantee is only as good as the estimate; report the
+        // unconstrained ratio (always valid) unless a mean is available.
+        match (self.mode, self.mu()) {
+            (ResolutionMode::RequestorWins, Some(mu)) => RandRwMean::new(mu).competitive_ratio(c),
+            (ResolutionMode::RequestorWins, None) => RandRw.competitive_ratio(c),
+            (ResolutionMode::RequestorAborts, Some(mu)) => RandRaMean::new(mu).competitive_ratio(c),
+            (ResolutionMode::RequestorAborts, None) => RandRa.competitive_ratio(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256StarStar;
+
+    #[test]
+    fn profiler_converges_to_the_mean() {
+        let p = MeanProfiler::new(0.1);
+        assert_eq!(p.mean(), None);
+        for _ in 0..500 {
+            p.record_commit(100.0);
+        }
+        assert!((p.mean().unwrap() - 100.0).abs() < 1e-9);
+        // Shift the workload; the EWMA follows.
+        for _ in 0..500 {
+            p.record_commit(300.0);
+        }
+        assert!((p.mean().unwrap() - 300.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn profiler_ignores_garbage() {
+        let p = MeanProfiler::new(0.5);
+        p.record_commit(f64::NAN);
+        p.record_commit(-3.0);
+        p.record_commit(f64::INFINITY);
+        assert_eq!(p.mean(), None);
+        p.record_commit(5.0);
+        assert_eq!(p.mean(), Some(5.0));
+    }
+
+    #[test]
+    fn adaptive_policy_switches_after_warmup() {
+        let prof = MeanProfiler::shared();
+        let policy = AdaptiveMean::requestor_wins(Arc::clone(&prof));
+        let c = Conflict::pair(1000.0);
+        let mut rng = Xoshiro256StarStar::new(1);
+        // Before warmup: behaves like RandRw (uniform mean B/2).
+        let n = 30_000;
+        let pre: f64 = (0..n).map(|_| policy.grace(&c, &mut rng)).sum::<f64>() / n as f64;
+        assert!((pre - 500.0).abs() < 10.0, "pre-warmup mean {pre}");
+        // Warm the profiler with short transactions (µ/B small).
+        for _ in 0..100 {
+            prof.record_commit(50.0);
+        }
+        // After warmup: the constrained density shifts mass towards B, so
+        // the average grace increases.
+        let post: f64 = (0..n).map(|_| policy.grace(&c, &mut rng)).sum::<f64>() / n as f64;
+        assert!(post > pre + 50.0, "post-warmup mean {post} vs {pre}");
+        // Reported ratio improves too.
+        let r = policy.competitive_ratio(&c).unwrap();
+        assert!(r < 2.0, "adaptive ratio {r}");
+    }
+
+    #[test]
+    fn adaptive_is_threadsafe() {
+        let prof = MeanProfiler::shared();
+        let policy = AdaptiveMean::requestor_aborts(Arc::clone(&prof));
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let prof = Arc::clone(&prof);
+                let policy = policy.clone();
+                s.spawn(move || {
+                    let mut rng = Xoshiro256StarStar::new(t);
+                    let c = Conflict::pair(100.0);
+                    for i in 0..10_000 {
+                        prof.record_commit(40.0 + (i % 10) as f64);
+                        let x = policy.grace(&c, &mut rng);
+                        assert!((0.0..=100.0).contains(&x));
+                    }
+                });
+            }
+        });
+        let m = prof.mean().unwrap();
+        assert!((m - 44.5).abs() < 6.0, "mean {m}");
+    }
+}

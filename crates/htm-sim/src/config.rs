@@ -1,0 +1,158 @@
+//! Simulator configuration: core count, memory-hierarchy latencies, HTM
+//! parameters, and the conflict-resolution policy under test.
+
+use std::sync::Arc;
+
+use tcp_core::conflict::ResolutionMode;
+use tcp_core::policy::GracePolicy;
+use tcp_core::profiler::MeanProfiler;
+
+use crate::noc::Mesh;
+
+/// Latency model of the private-L1 / shared-L2 hierarchy, in core cycles.
+/// Defaults are in the ballpark of the Graphite configuration used by the
+/// paper (tiled multicore, directory at the shared L2 slice).
+#[derive(Clone, Copy, Debug)]
+pub struct Latencies {
+    /// L1 hit.
+    pub l1_hit: u64,
+    /// L1 miss serviced by the L2/directory without remote involvement.
+    pub l2: u64,
+    /// Extra cost when a remote L1 must be invalidated, downgraded, or
+    /// forwards the line (cache-to-cache transfer).
+    pub remote: u64,
+    /// Cold miss to memory.
+    pub mem: u64,
+}
+
+impl Default for Latencies {
+    fn default() -> Self {
+        Self {
+            l1_hit: 1,
+            l2: 10,
+            remote: 15,
+            mem: 60,
+        }
+    }
+}
+
+/// Full simulator configuration.
+#[derive(Clone)]
+pub struct SimConfig {
+    /// Number of cores, one hardware thread each (1..=64).
+    pub cores: usize,
+    pub latencies: Latencies,
+    /// Cycles spent cleaning up after an abort before the restart
+    /// (invalidating the transactional cache, restoring registers).
+    pub abort_cleanup: u64,
+    /// Private transactional-cache capacity in lines; overflowing it aborts
+    /// the transaction (Algorithm 1, line 4).
+    pub l1_capacity: usize,
+    /// Conflict-resolution policy under test.
+    pub policy: Arc<dyn GracePolicy>,
+    /// Resolution applied when the grace period expires. The paper's HTM is
+    /// requestor-wins (§8.2); requestor-aborts is supported for the
+    /// comparison experiments.
+    pub mode: ResolutionMode,
+    /// Enable §7 multiplicative abort-cost inflation for progress.
+    pub backoff: bool,
+    /// Report the measured conflict-chain length `k` to the policy. The
+    /// paper's hardware prototype cannot observe chains and always uses the
+    /// pair (`k = 2`) strategies — the default here. Enabling this is the
+    /// `chain_aware` ablation.
+    pub chain_aware: bool,
+    /// After this many consecutive aborts a transaction falls back to an
+    /// unkillable slow path (models the paper's lock-free/lock-based slow
+    /// path, guaranteeing progress).
+    pub max_retries: u32,
+    /// Cap on any single grace period, as a multiple of the abort cost
+    /// (defensive bound; the optimal policies never exceed `B/(k−1)`).
+    pub grace_cap_factor: f64,
+    /// Simulated duration in cycles.
+    pub horizon: u64,
+    /// Master seed; each core receives an independent substream.
+    pub seed: u64,
+    /// Emit a line per simulator event to stderr (debugging aid).
+    pub trace: bool,
+    /// Record per-transaction commit latencies (for percentile reporting).
+    pub record_latencies: bool,
+    /// Optional tiled-NoC latency model (Graphite-style mesh): when set,
+    /// directory and forwarding latencies scale with Manhattan hop
+    /// distance instead of the flat `latencies.l2`/`latencies.remote`.
+    pub mesh: Option<Mesh>,
+    /// Optional shared profiler fed with the duration of every successful
+    /// transaction attempt (§1's "profiler records the empirical mean over
+    /// all successful executions"). Share the same handle with an
+    /// [`tcp_core::profiler::AdaptiveMean`] policy to close the loop.
+    pub profiler: Option<Arc<MeanProfiler>>,
+}
+
+impl SimConfig {
+    /// Baseline configuration for `cores` cores and a given policy.
+    pub fn new(cores: usize, policy: Arc<dyn GracePolicy>) -> Self {
+        assert!((1..=64).contains(&cores), "1..=64 cores supported");
+        Self {
+            cores,
+            latencies: Latencies::default(),
+            abort_cleanup: 40,
+            l1_capacity: 1024,
+            policy,
+            mode: ResolutionMode::RequestorWins,
+            backoff: true,
+            chain_aware: false,
+            max_retries: 16,
+            grace_cap_factor: 64.0,
+            horizon: 1_000_000,
+            seed: 0xC0FFEE,
+            trace: false,
+            record_latencies: true,
+            mesh: None,
+            profiler: None,
+        }
+    }
+
+    /// Latency of a miss given whether a remote cache was involved and
+    /// whether the line was cold (memory-resident only).
+    pub fn miss_latency(&self, remote_involved: bool, cold: bool) -> u64 {
+        let l = &self.latencies;
+        l.l2 + if remote_involved { l.remote } else { 0 } + if cold { l.mem } else { 0 }
+    }
+}
+
+impl std::fmt::Debug for SimConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimConfig")
+            .field("cores", &self.cores)
+            .field("latencies", &self.latencies)
+            .field("abort_cleanup", &self.abort_cleanup)
+            .field("l1_capacity", &self.l1_capacity)
+            .field("policy", &self.policy.name())
+            .field("mode", &self.mode)
+            .field("backoff", &self.backoff)
+            .field("max_retries", &self.max_retries)
+            .field("horizon", &self.horizon)
+            .field("seed", &self.seed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcp_core::policy::NoDelay;
+
+    #[test]
+    fn miss_latency_composition() {
+        let cfg = SimConfig::new(4, Arc::new(NoDelay::requestor_wins()));
+        let l = cfg.latencies;
+        assert_eq!(cfg.miss_latency(false, false), l.l2);
+        assert_eq!(cfg.miss_latency(true, false), l.l2 + l.remote);
+        assert_eq!(cfg.miss_latency(false, true), l.l2 + l.mem);
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_many_cores_rejected() {
+        let _ = SimConfig::new(65, Arc::new(NoDelay::requestor_wins()));
+    }
+}

@@ -1,0 +1,296 @@
+//! The memory subsystem: per-core private L1 caches with transactional
+//! bits, and the shared-L2 directory tracking owner/sharers per line
+//! (MSI protocol, Algorithm 1 of the paper).
+
+use std::collections::HashMap;
+
+/// MSI stable states of an L1 copy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CopyState {
+    Shared,
+    Modified,
+}
+
+/// One line resident in a private L1.
+#[derive(Clone, Copy, Debug)]
+pub struct L1Line {
+    pub state: CopyState,
+    /// Set if the line belongs to the running transaction's read/write set
+    /// (the "additional bit" of Algorithm 1).
+    pub txn: bool,
+}
+
+/// A private L1 cache: full-associative with bounded capacity. Running out
+/// of capacity for a transactional line aborts the transaction, so the
+/// replacement policy only ever evicts non-transactional lines (oldest
+/// first — insertion order is deterministic).
+#[derive(Clone, Debug, Default)]
+pub struct L1Cache {
+    lines: HashMap<u64, L1Line>,
+    /// Insertion order for deterministic eviction.
+    order: Vec<u64>,
+}
+
+/// Result of trying to install a line into the L1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Install {
+    Ok,
+    /// A non-transactional line was evicted to make room.
+    Evicted(u64),
+    /// The cache is full of transactional lines: capacity abort.
+    CapacityAbort,
+}
+
+impl L1Cache {
+    pub fn get(&self, addr: u64) -> Option<&L1Line> {
+        self.lines.get(&addr)
+    }
+
+    pub fn get_mut(&mut self, addr: u64) -> Option<&mut L1Line> {
+        self.lines.get_mut(&addr)
+    }
+
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// Install (or update) `addr` with the given state, respecting
+    /// `capacity`.
+    pub fn install(&mut self, addr: u64, state: CopyState, txn: bool, capacity: usize) -> Install {
+        if let Some(line) = self.lines.get_mut(&addr) {
+            line.state = state;
+            line.txn = line.txn || txn;
+            return Install::Ok;
+        }
+        let mut evicted = None;
+        if self.lines.len() >= capacity {
+            // Evict the oldest non-transactional line.
+            let victim = self
+                .order
+                .iter()
+                .copied()
+                .find(|a| self.lines.get(a).is_some_and(|l| !l.txn));
+            match victim {
+                Some(v) => {
+                    self.remove(v);
+                    evicted = Some(v);
+                }
+                None => return Install::CapacityAbort,
+            }
+        }
+        self.lines.insert(addr, L1Line { state, txn });
+        self.order.push(addr);
+        match evicted {
+            Some(v) => Install::Evicted(v),
+            None => Install::Ok,
+        }
+    }
+
+    pub fn remove(&mut self, addr: u64) {
+        if self.lines.remove(&addr).is_some() {
+            if let Some(pos) = self.order.iter().position(|&a| a == addr) {
+                self.order.remove(pos);
+            }
+        }
+    }
+
+    /// Addresses of all transactional lines (the read/write set).
+    pub fn txn_lines(&self) -> Vec<u64> {
+        self.order
+            .iter()
+            .copied()
+            .filter(|a| self.lines.get(a).is_some_and(|l| l.txn))
+            .collect()
+    }
+
+    /// Clear the transactional bits (commit: lines stay cached).
+    pub fn commit_txn(&mut self) {
+        for l in self.lines.values_mut() {
+            l.txn = false;
+        }
+    }
+
+    /// Drop all transactional lines (abort: Algorithm 1, line 5).
+    pub fn abort_txn(&mut self) -> Vec<u64> {
+        let dropped = self.txn_lines();
+        for a in &dropped {
+            self.lines.remove(a);
+        }
+        self.order.retain(|a| self.lines.contains_key(a));
+        dropped
+    }
+}
+
+/// Directory entry at the shared L2: who holds the line and how.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DirEntry {
+    /// Core holding the line Modified, if any.
+    pub owner: Option<usize>,
+    /// Bitmask of cores holding the line Shared.
+    pub sharers: u64,
+}
+
+impl DirEntry {
+    pub fn is_cold(&self) -> bool {
+        self.owner.is_none() && self.sharers == 0
+    }
+
+    pub fn sharer_list(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..64).filter(move |i| self.sharers >> i & 1 == 1)
+    }
+
+    pub fn add_sharer(&mut self, core: usize) {
+        self.sharers |= 1 << core;
+    }
+
+    pub fn remove_core(&mut self, core: usize) {
+        self.sharers &= !(1 << core);
+        if self.owner == Some(core) {
+            self.owner = None;
+        }
+    }
+
+    /// All cores with any copy, excluding `except`.
+    pub fn holders_except(&self, except: usize) -> Vec<usize> {
+        let mut v: Vec<usize> = self.sharer_list().filter(|&c| c != except).collect();
+        if let Some(o) = self.owner {
+            if o != except && !v.contains(&o) {
+                v.push(o);
+            }
+        }
+        v
+    }
+}
+
+/// The full directory: sparse map from line address to entry.
+#[derive(Clone, Debug, Default)]
+pub struct Directory {
+    entries: HashMap<u64, DirEntry>,
+}
+
+impl Directory {
+    pub fn entry(&self, addr: u64) -> DirEntry {
+        self.entries.get(&addr).copied().unwrap_or_default()
+    }
+
+    pub fn entry_mut(&mut self, addr: u64) -> &mut DirEntry {
+        self.entries.entry(addr).or_default()
+    }
+
+    /// Remove a core from every line in `lines` (used on abort).
+    pub fn purge(&mut self, core: usize, lines: &[u64]) {
+        for &a in lines {
+            if let Some(e) = self.entries.get_mut(&a) {
+                e.remove_core(core);
+            }
+        }
+    }
+
+    /// Internal consistency check used by debug assertions and tests:
+    /// a line with an owner has no other sharers.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (a, e) in &self.entries {
+            if let Some(o) = e.owner {
+                let others = e.sharers & !(1u64 << o);
+                if others != 0 {
+                    return Err(format!(
+                        "line {a:#x}: owner {o} coexists with sharers {others:#b}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_and_hit() {
+        let mut c = L1Cache::default();
+        assert_eq!(c.install(7, CopyState::Shared, true, 4), Install::Ok);
+        assert_eq!(c.get(7).unwrap().state, CopyState::Shared);
+        assert!(c.get(7).unwrap().txn);
+        // Upgrading keeps the txn bit.
+        assert_eq!(c.install(7, CopyState::Modified, false, 4), Install::Ok);
+        assert!(c.get(7).unwrap().txn);
+        assert_eq!(c.get(7).unwrap().state, CopyState::Modified);
+    }
+
+    #[test]
+    fn eviction_prefers_non_transactional() {
+        let mut c = L1Cache::default();
+        c.install(1, CopyState::Shared, false, 2);
+        c.install(2, CopyState::Shared, true, 2);
+        // Cache full; next install evicts line 1 (non-txn), never line 2.
+        assert_eq!(
+            c.install(3, CopyState::Shared, true, 2),
+            Install::Evicted(1)
+        );
+        assert!(c.get(1).is_none());
+        assert!(c.get(2).is_some());
+    }
+
+    #[test]
+    fn capacity_abort_when_all_transactional() {
+        let mut c = L1Cache::default();
+        c.install(1, CopyState::Shared, true, 2);
+        c.install(2, CopyState::Shared, true, 2);
+        assert_eq!(
+            c.install(3, CopyState::Shared, true, 2),
+            Install::CapacityAbort
+        );
+    }
+
+    #[test]
+    fn commit_clears_bits_abort_drops_lines() {
+        let mut c = L1Cache::default();
+        c.install(1, CopyState::Modified, true, 8);
+        c.install(2, CopyState::Shared, true, 8);
+        c.install(3, CopyState::Shared, false, 8);
+        let mut clone = c.clone();
+        c.commit_txn();
+        assert_eq!(c.txn_lines(), Vec::<u64>::new());
+        assert_eq!(c.len(), 3);
+        let dropped = clone.abort_txn();
+        assert_eq!(dropped, vec![1, 2]);
+        assert_eq!(clone.len(), 1);
+    }
+
+    #[test]
+    fn directory_owner_and_sharers() {
+        let mut d = Directory::default();
+        d.entry_mut(9).add_sharer(0);
+        d.entry_mut(9).add_sharer(3);
+        assert_eq!(d.entry(9).holders_except(0), vec![3]);
+        d.entry_mut(9).remove_core(3);
+        d.entry_mut(9).owner = Some(1);
+        assert_eq!(d.entry(9).holders_except(2), vec![0, 1]);
+        assert!(d.entry(100).is_cold());
+    }
+
+    #[test]
+    fn purge_removes_core_everywhere() {
+        let mut d = Directory::default();
+        d.entry_mut(1).owner = Some(2);
+        d.entry_mut(5).add_sharer(2);
+        d.purge(2, &[1, 5]);
+        assert!(d.entry(1).is_cold());
+        assert!(d.entry(5).is_cold());
+    }
+
+    #[test]
+    fn invariant_check_catches_owner_with_sharers() {
+        let mut d = Directory::default();
+        d.entry_mut(1).owner = Some(0);
+        assert!(d.check_invariants().is_ok());
+        d.entry_mut(1).add_sharer(1);
+        assert!(d.check_invariants().is_err());
+    }
+}

@@ -1,0 +1,137 @@
+//! Tiled network-on-chip latency model.
+//!
+//! Graphite simulates a tiled multicore whose cores and L2 slices sit on a
+//! 2D mesh; coherence latency depends on the Manhattan hop distance
+//! between the requesting tile, the home directory slice of the line, and
+//! the owning tile. This module provides that model as an optional
+//! refinement of the flat [`crate::config::Latencies`]: enabling it makes
+//! remote misses cost `base + hops·per_hop` cycles instead of a constant.
+
+/// A square 2D mesh of tiles with X-Y routing.
+#[derive(Clone, Copy, Debug)]
+pub struct Mesh {
+    /// Side length (tiles are `side × side`; cores live on tiles
+    /// round-robin).
+    pub side: usize,
+    /// Per-hop latency in cycles.
+    pub per_hop: u64,
+}
+
+impl Mesh {
+    /// Smallest square mesh fitting `cores` tiles.
+    pub fn for_cores(cores: usize, per_hop: u64) -> Self {
+        let mut side = 1;
+        while side * side < cores {
+            side += 1;
+        }
+        Self { side, per_hop }
+    }
+
+    /// Tile coordinates of a core.
+    #[inline]
+    pub fn tile_of(&self, core: usize) -> (usize, usize) {
+        (core % self.side, (core / self.side) % self.side)
+    }
+
+    /// Home L2/directory slice of a cache line (lines are striped across
+    /// tiles by address).
+    #[inline]
+    pub fn home_of(&self, line: u64) -> (usize, usize) {
+        let tiles = (self.side * self.side) as u64;
+        let t = (line.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) % tiles;
+        (t as usize % self.side, t as usize / self.side)
+    }
+
+    /// Manhattan hop count between two tiles.
+    #[inline]
+    pub fn hops(&self, a: (usize, usize), b: (usize, usize)) -> u64 {
+        (a.0.abs_diff(b.0) + a.1.abs_diff(b.1)) as u64
+    }
+
+    /// Latency of a directory access by `core` for `line`:
+    /// request to the home tile and back.
+    pub fn directory_latency(&self, core: usize, line: u64) -> u64 {
+        2 * self.per_hop * self.hops(self.tile_of(core), self.home_of(line))
+    }
+
+    /// Extra latency when the home tile must forward to / invalidate a
+    /// remote owner: home → owner → requestor.
+    pub fn forward_latency(&self, core: usize, owner: usize, line: u64) -> u64 {
+        let home = self.home_of(line);
+        let o = self.tile_of(owner);
+        let c = self.tile_of(core);
+        self.per_hop * (self.hops(home, o) + self.hops(o, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_sizes() {
+        assert_eq!(Mesh::for_cores(1, 2).side, 1);
+        assert_eq!(Mesh::for_cores(4, 2).side, 2);
+        assert_eq!(Mesh::for_cores(5, 2).side, 3);
+        assert_eq!(Mesh::for_cores(16, 2).side, 4);
+        assert_eq!(Mesh::for_cores(17, 2).side, 5);
+    }
+
+    #[test]
+    fn hops_are_manhattan() {
+        let m = Mesh {
+            side: 4,
+            per_hop: 3,
+        };
+        assert_eq!(m.hops((0, 0), (3, 3)), 6);
+        assert_eq!(m.hops((2, 1), (2, 1)), 0);
+        assert_eq!(m.hops((1, 0), (0, 2)), 3);
+    }
+
+    #[test]
+    fn latencies_scale_with_distance() {
+        let m = Mesh {
+            side: 8,
+            per_hop: 2,
+        };
+        // A line homed at the requesting tile costs 0 network cycles.
+        let mut zero_seen = false;
+        let mut far_seen = 0u64;
+        for line in 0..256u64 {
+            let lat = m.directory_latency(0, line);
+            if lat == 0 {
+                zero_seen = true;
+            }
+            far_seen = far_seen.max(lat);
+        }
+        assert!(zero_seen, "some line must be homed locally");
+        // Max distance on an 8x8 mesh is 14 hops, 2 cycles each, round trip.
+        assert_eq!(far_seen, 2 * 2 * 14);
+    }
+
+    #[test]
+    fn homes_are_spread_across_tiles() {
+        let m = Mesh {
+            side: 4,
+            per_hop: 1,
+        };
+        let mut seen = std::collections::HashSet::new();
+        for line in 0..4096u64 {
+            seen.insert(m.home_of(line));
+        }
+        assert_eq!(seen.len(), 16, "striping must reach every tile");
+    }
+
+    #[test]
+    fn forward_latency_triangle() {
+        let m = Mesh {
+            side: 4,
+            per_hop: 1,
+        };
+        // Forwarding via the owner is at least the owner->requestor leg.
+        for line in 0..32u64 {
+            let f = m.forward_latency(0, 5, line);
+            assert!(f >= m.hops(m.tile_of(5), m.tile_of(0)));
+        }
+    }
+}

@@ -1,0 +1,1005 @@
+//! The discrete-event HTM simulator.
+//!
+//! Single-threaded, cycle-granularity, deterministic under a fixed seed.
+//! Each core repeatedly runs transactions from a [`WorkloadGen`]; accesses
+//! go through a private L1 / shared-directory MSI protocol (Algorithm 1 of
+//! the paper); conflicts consult the configured [`GracePolicy`] and are
+//! resolved requestor-wins or requestor-aborts after the sampled grace
+//! period, exactly as in the paper's Graphite-based prototype (§8.2).
+//!
+//! ## Event model
+//!
+//! Three event kinds drive everything:
+//! * `Step(core, epoch)` — the core finishes its current instruction and
+//!   issues the next one; stale epochs (from before an abort) are ignored;
+//! * `Deadline(req, stamp)` — a grace period expires; resolves the conflict
+//!   against the surviving holders (requestor-wins) or the requestor
+//!   (requestor-aborts);
+//! * `Retry(core, epoch)` — abort cleanup finished; restart the transaction.
+//!
+//! A stalled requestor has *no* scheduled event; it is resumed by the grant
+//! path when the blocking transaction commits, aborts, or is aborted by the
+//! deadline.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+use tcp_core::conflict::{Conflict, ResolutionMode};
+use tcp_core::progress::BackoffState;
+use tcp_core::rng::Xoshiro256StarStar;
+use tcp_workloads::programs::{Op, TxnProgram, WorkloadGen};
+
+use crate::config::SimConfig;
+use crate::mem::{CopyState, Directory, Install, L1Cache};
+use crate::stats::{AbortCause, SimStats};
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum EvKind {
+    Step { core: usize, epoch: u64 },
+    Deadline { req: usize, stamp: u64 },
+    Retry { core: usize, epoch: u64 },
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct Ev {
+    time: u64,
+    seq: u64,
+    kind: EvKind,
+}
+
+/// A coherence request stalled behind a grace period.
+#[derive(Clone, Copy, Debug)]
+struct PendingReq {
+    stamp: u64,
+    requestor: usize,
+    line: u64,
+    write: bool,
+    stall_start: u64,
+    /// The receiver this request's grace period was armed against, and its
+    /// epoch at arming time. A deadline only aborts *this* victim; if the
+    /// line changed hands in the meantime that is a new conflict and the
+    /// deadline re-arms (NACK-and-retry semantics, matching the theory's
+    /// per-conflict cost model).
+    victim: usize,
+    victim_epoch: u64,
+}
+
+#[derive(Clone, Debug)]
+struct Core {
+    program: TxnProgram,
+    pc: usize,
+    /// Transactions issued so far (drives the workload generator).
+    seq_no: u64,
+    /// Start time of the current attempt.
+    attempt_start: u64,
+    /// Start time of the first attempt of the current transaction.
+    first_start: u64,
+    /// Consecutive aborts of the current transaction.
+    attempts: u32,
+    /// Invalidates stale Step/Retry events after an abort.
+    epoch: u64,
+    backoff: BackoffState,
+    /// Slab index of the pending request this core is stalled on.
+    waiting_req: Option<usize>,
+    /// Core this one is (transitively) waiting behind, for chain-length
+    /// computation and cycle detection.
+    waiting_on: Option<usize>,
+    /// Slow-path mode after `max_retries` consecutive aborts: conflicts
+    /// resolve immediately in this core's favour (models the lock-free /
+    /// lock-based fallback of the paper's benchmarks).
+    unkillable: bool,
+    /// Stall cycles accumulated during the current attempt (subtracted
+    /// from the attempt duration when profiling the fast-path length).
+    attempt_stall: u64,
+    rng: Xoshiro256StarStar,
+}
+
+/// The simulator. Construct with [`Simulator::new`], drive with
+/// [`Simulator::run`], read the [`SimStats`] afterwards.
+pub struct Simulator {
+    cfg: SimConfig,
+    workload: Arc<dyn WorkloadGen>,
+    now: u64,
+    seq: u64,
+    events: BinaryHeap<Reverse<Ev>>,
+    cores: Vec<Core>,
+    caches: Vec<L1Cache>,
+    dir: Directory,
+    pending: Vec<Option<PendingReq>>,
+    next_stamp: u64,
+    pub stats: SimStats,
+}
+
+impl Simulator {
+    pub fn new(cfg: SimConfig, workload: Arc<dyn WorkloadGen>) -> Self {
+        let mut master = Xoshiro256StarStar::new(cfg.seed);
+        let cores = (0..cfg.cores)
+            .map(|_| Core {
+                program: TxnProgram::default(),
+                pc: 0,
+                seq_no: 0,
+                attempt_start: 0,
+                first_start: 0,
+                attempts: 0,
+                epoch: 0,
+                backoff: BackoffState::default(),
+                waiting_req: None,
+                waiting_on: None,
+                unkillable: false,
+                attempt_stall: 0,
+                rng: master.split(),
+            })
+            .collect();
+        let stats = SimStats::new(cfg.cores);
+        let caches = vec![L1Cache::default(); cfg.cores];
+        let mut sim = Self {
+            cfg,
+            workload,
+            now: 0,
+            seq: 0,
+            events: BinaryHeap::new(),
+            cores,
+            caches,
+            dir: Directory::default(),
+            pending: Vec::new(),
+            next_stamp: 0,
+            stats,
+        };
+        for c in 0..sim.cfg.cores {
+            sim.start_next_txn(c, c as u64); // staggered start breaks symmetry
+        }
+        sim
+    }
+
+    /// Run until the configured horizon; returns the statistics.
+    pub fn run(&mut self) -> &SimStats {
+        while let Some(&Reverse(ev)) = self.events.peek() {
+            if ev.time > self.cfg.horizon {
+                break;
+            }
+            self.events.pop();
+            debug_assert!(ev.time >= self.now, "time went backwards");
+            self.now = ev.time;
+            match ev.kind {
+                EvKind::Step { core, epoch } => self.handle_step(core, epoch),
+                EvKind::Retry { core, epoch } => self.handle_retry(core, epoch),
+                EvKind::Deadline { req, stamp } => self.handle_deadline(req, stamp),
+            }
+        }
+        self.stats.cycles = self.cfg.horizon;
+        &self.stats
+    }
+
+    // -- scheduling helpers -------------------------------------------------
+
+    fn schedule(&mut self, time: u64, kind: EvKind) {
+        self.seq += 1;
+        self.events.push(Reverse(Ev {
+            time,
+            seq: self.seq,
+            kind,
+        }));
+    }
+
+    fn schedule_step(&mut self, core: usize, time: u64) {
+        let epoch = self.cores[core].epoch;
+        self.schedule(time, EvKind::Step { core, epoch });
+    }
+
+    // -- transaction lifecycle ----------------------------------------------
+
+    fn start_next_txn(&mut self, c: usize, at: u64) {
+        let core = &mut self.cores[c];
+        let program = self.workload.next_txn(c, core.seq_no, &mut core.rng);
+        core.seq_no += 1;
+        core.program = program;
+        core.pc = 0;
+        core.attempts = 0;
+        core.unkillable = false;
+        core.backoff.reset();
+        core.attempt_start = at;
+        core.attempt_stall = 0;
+        core.first_start = at;
+        self.schedule_step(c, at);
+    }
+
+    fn trace(&self, msg: impl FnOnce() -> String) {
+        if self.cfg.trace {
+            eprintln!("[{:>8}] {}", self.now, msg());
+        }
+    }
+
+    fn commit(&mut self, c: usize) {
+        self.trace(|| format!("core {c} COMMIT"));
+        self.caches[c].commit_txn();
+        let latency = self.now - self.cores[c].first_start;
+        // Fast-path length = attempt duration minus time parked behind
+        // other transactions' grace periods.
+        let attempt =
+            (self.now - self.cores[c].attempt_start).saturating_sub(self.cores[c].attempt_stall);
+        let stats = &mut self.stats.per_core[c];
+        stats.commits += 1;
+        stats.total_latency += latency;
+        if self.cfg.record_latencies {
+            self.stats.latencies.push(latency);
+        }
+        if let Some(p) = &self.cfg.profiler {
+            // The successful attempt's duration — the "fast-path length"
+            // a profiler would report.
+            p.record_commit(attempt as f64);
+        }
+        // Requests stalled behind this transaction may now be free.
+        self.grant_unblocked(true);
+        self.start_next_txn(c, self.now + 1);
+    }
+
+    fn abort_core(&mut self, v: usize, cause: AbortCause) {
+        self.trace(|| format!("core {v} ABORT {cause:?}"));
+        let wasted = self.now.saturating_sub(self.cores[v].attempt_start);
+        self.stats.record_abort(v, cause, wasted);
+        let dropped = self.caches[v].abort_txn();
+        self.dir.purge(v, &dropped);
+        let core = &mut self.cores[v];
+        core.epoch += 1;
+        core.backoff.bump();
+        core.attempts += 1;
+        // If the victim was itself stalled as a requestor, cancel its request.
+        if let Some(id) = core.waiting_req.take() {
+            self.pending[id] = None;
+        }
+        self.cores[v].waiting_on = None;
+        if self.cores[v].attempts >= self.cfg.max_retries && !self.cores[v].unkillable {
+            self.cores[v].unkillable = true;
+            self.stats.per_core[v].fallbacks += 1;
+        }
+        let epoch = self.cores[v].epoch;
+        // Randomized exponential restart backoff: resynchronized retries
+        // re-form the same conflict (and the same waiting cycle) forever on
+        // hot multi-object workloads. Jitter grows with the abort count,
+        // capped at 64x cleanup.
+        let exp = self.cores[v].attempts.min(6);
+        let jitter_range = self.cfg.abort_cleanup.saturating_mul(1 << exp);
+        let jitter = tcp_core::rng::uniform_u64_below(&mut self.cores[v].rng, jitter_range.max(1));
+        self.schedule(
+            self.now + self.cfg.abort_cleanup + jitter,
+            EvKind::Retry { core: v, epoch },
+        );
+        // Dropping the victim's lines may unblock other requests.
+        self.grant_unblocked(false);
+    }
+
+    fn handle_retry(&mut self, c: usize, epoch: u64) {
+        if self.cores[c].epoch != epoch {
+            return;
+        }
+        let core = &mut self.cores[c];
+        core.pc = 0;
+        core.attempt_start = self.now;
+        core.attempt_stall = 0;
+        self.schedule_step(c, self.now);
+    }
+
+    // -- instruction execution ----------------------------------------------
+
+    fn handle_step(&mut self, c: usize, epoch: u64) {
+        if self.cores[c].epoch != epoch {
+            return;
+        }
+        debug_assert!(self.cores[c].waiting_req.is_none(), "stalled core stepped");
+        let pc = self.cores[c].pc;
+        if pc >= self.cores[c].program.ops.len() {
+            self.commit(c);
+            return;
+        }
+        match self.cores[c].program.ops[pc] {
+            Op::Compute(n) => {
+                self.cores[c].pc += 1;
+                self.schedule_step(c, self.now + n as u64);
+            }
+            Op::Read(a) => self.access(c, a, false),
+            Op::Write(a) => self.access(c, a, true),
+        }
+    }
+
+    /// Cores whose copy of `line` conflicts with a request by `c`.
+    /// Writes conflict with every transactional copy; reads only with a
+    /// transactional Modified owner (Algorithm 1, lines 9 and 12).
+    fn conflicting_holders(&self, c: usize, line: u64, write: bool) -> Vec<usize> {
+        let entry = self.dir.entry(line);
+        let mut out = Vec::new();
+        if write {
+            for h in entry.holders_except(c) {
+                if self.caches[h].get(line).is_some_and(|l| l.txn) {
+                    out.push(h);
+                }
+            }
+        } else if let Some(o) = entry.owner {
+            if o != c && self.caches[o].get(line).is_some_and(|l| l.txn) {
+                out.push(o);
+            }
+        }
+        out
+    }
+
+    fn access(&mut self, c: usize, a: u64, write: bool) {
+        // L1 hit paths.
+        if let Some(line) = self.caches[c].get_mut(a) {
+            let hit = if write {
+                line.state == CopyState::Modified
+            } else {
+                true
+            };
+            if hit {
+                line.txn = true;
+                self.cores[c].pc += 1;
+                self.schedule_step(c, self.now + self.cfg.latencies.l1_hit);
+                return;
+            }
+        }
+        // Miss: go to the directory.
+        let victims = self.conflicting_holders(c, a, write);
+        if victims.is_empty() {
+            self.perform_miss(c, a, write, self.now);
+            return;
+        }
+        self.stats.conflicts += 1;
+        // Cycle detection (§3.2(c)): if anyone we would wait behind is
+        // already (transitively) waiting on us, a waiting cycle would form.
+        // Break it by aborting the *youngest* transaction in the cycle
+        // (greedy timestamp order) — always aborting the requestor would
+        // let two transactions cycle-break each other forever.
+        let mut cycle: Option<Vec<usize>> = None;
+        for &v in &victims {
+            let mut path = Vec::new();
+            let mut cur = Some(v);
+            let mut hops = 0;
+            while let Some(x) = cur {
+                if x == c {
+                    cycle = Some(path.clone());
+                    break;
+                }
+                path.push(x);
+                hops += 1;
+                if hops > self.cfg.cores {
+                    cycle = Some(path.clone()); // defensive: runaway chain
+                    break;
+                }
+                cur = self.cores[x].waiting_on;
+            }
+            if cycle.is_some() {
+                break;
+            }
+        }
+        if let Some(mut members) = cycle {
+            members.push(c);
+            let youngest = *members
+                .iter()
+                .max_by_key(|&&m| (self.cores[m].first_start, m))
+                .expect("cycle has members");
+            self.abort_core(youngest, AbortCause::CycleBreak);
+            if youngest != c {
+                // The cycle is broken; retry the access (it may park
+                // normally now, or find the line free).
+                self.access(c, a, write);
+            }
+            return;
+        }
+        // Slow-path (unkillable) transactions: resolved by age, oldest
+        // first — the greedy timestamp rule that makes the fallback a
+        // serializing lock rather than a livelock.
+        if self.cores[c].unkillable && victims.iter().all(|&v| self.can_kill(c, v)) {
+            for v in victims {
+                self.abort_core(v, AbortCause::Conflict);
+            }
+            self.access(c, a, write); // re-check: the sweep may have granted others
+            return;
+        }
+        // Consult the policy. The conflict chain contains the receiver, the
+        // requestor, every transaction already parked behind the receiver,
+        // and every transaction parked behind the requestor (§4.1).
+        let k = 2 + self.transitive_waiters_on(c) + self.transitive_waiters_on(victims[0]);
+        self.stats.record_chain(k);
+        let primary = victims[0];
+        let costed = match self.cfg.mode {
+            ResolutionMode::RequestorWins => primary,
+            ResolutionMode::RequestorAborts => c,
+        };
+        let elapsed = self.now.saturating_sub(self.cores[costed].attempt_start);
+        let raw_b = (elapsed + self.cfg.abort_cleanup) as f64;
+        let b = if self.cfg.backoff {
+            self.cores[costed].backoff.effective_cost(raw_b)
+        } else {
+            raw_b
+        };
+        let k_policy = if self.cfg.chain_aware { k } else { 2 };
+        let conflict = Conflict::chain(b.max(1.0), k_policy);
+        let grace = {
+            let policy = Arc::clone(&self.cfg.policy);
+            let rng = &mut self.cores[c].rng;
+            policy.grace(&conflict, rng)
+        };
+        // Clamp to the policy cap and to the simulation horizon (backoff can
+        // inflate B geometrically; a grace period beyond the horizon is
+        // equivalent to "never abort" within this run). Non-finite values
+        // from a buggy policy degrade to an immediate abort.
+        let grace = if grace.is_finite() {
+            grace
+                .clamp(0.0, self.cfg.grace_cap_factor * b)
+                .min(self.cfg.horizon as f64)
+                .round() as u64
+        } else {
+            0
+        };
+        if grace == 0 {
+            match self.cfg.mode {
+                ResolutionMode::RequestorWins => {
+                    if victims.iter().all(|&v| self.can_kill(c, v)) {
+                        for v in victims {
+                            self.abort_core(v, AbortCause::Conflict);
+                        }
+                        // The abort sweep may have handed the line to a parked
+                        // requestor; re-run the access to re-check conflicts.
+                        self.access(c, a, write);
+                    } else {
+                        // A protected slow-path victim holds the line; the
+                        // requestor yields instead.
+                        self.abort_core(c, AbortCause::Conflict);
+                    }
+                }
+                ResolutionMode::RequestorAborts => {
+                    self.abort_core(c, AbortCause::Conflict);
+                }
+            }
+            return;
+        }
+        // Delayed resolution: park the request and arm the deadline.
+        self.trace(|| {
+            format!("core {c} PARK line={a:#x} write={write} victim={primary} grace={grace} k={k}")
+        });
+        self.stats.delayed_conflicts += 1;
+        self.next_stamp += 1;
+        let req = PendingReq {
+            stamp: self.next_stamp,
+            requestor: c,
+            line: a,
+            write,
+            stall_start: self.now,
+            victim: primary,
+            victim_epoch: self.cores[primary].epoch,
+        };
+        let id = match self.pending.iter().position(Option::is_none) {
+            Some(i) => {
+                self.pending[i] = Some(req);
+                i
+            }
+            None => {
+                self.pending.push(Some(req));
+                self.pending.len() - 1
+            }
+        };
+        self.cores[c].waiting_req = Some(id);
+        self.cores[c].waiting_on = Some(primary);
+        self.schedule(
+            self.now + grace,
+            EvKind::Deadline {
+                req: id,
+                stamp: self.next_stamp,
+            },
+        );
+    }
+
+    /// Complete a conflict-free miss: run the MSI transitions, install the
+    /// line, and schedule the instruction completion.
+    fn perform_miss(&mut self, c: usize, a: u64, write: bool, start: u64) {
+        let entry = self.dir.entry(a);
+        let cold = entry.is_cold();
+        let mut remote = false;
+        let mut remote_peer: Option<usize> = None;
+        if write {
+            for h in entry.holders_except(c) {
+                self.caches[h].remove(a);
+                self.dir.entry_mut(a).remove_core(h);
+                remote = true;
+                remote_peer = Some(remote_peer.map_or(h, |p| {
+                    // With a mesh model, the slowest invalidation gates the
+                    // grant; keep the farthest peer.
+                    if let Some(m) = &self.cfg.mesh {
+                        if m.forward_latency(c, h, a) > m.forward_latency(c, p, a) {
+                            h
+                        } else {
+                            p
+                        }
+                    } else {
+                        p
+                    }
+                }));
+            }
+            let e = self.dir.entry_mut(a);
+            e.remove_core(c); // drop our own Shared bit on upgrade
+            e.owner = Some(c);
+        } else {
+            if let Some(o) = entry.owner {
+                if o != c {
+                    // Downgrade the (non-transactional) owner to Shared.
+                    if let Some(l) = self.caches[o].get_mut(a) {
+                        l.state = CopyState::Shared;
+                    }
+                    let e = self.dir.entry_mut(a);
+                    e.owner = None;
+                    e.add_sharer(o);
+                    remote = true;
+                    remote_peer = Some(o);
+                }
+            }
+            self.dir.entry_mut(a).add_sharer(c);
+        }
+        let state = if write {
+            CopyState::Modified
+        } else {
+            CopyState::Shared
+        };
+        match self.caches[c].install(a, state, true, self.cfg.l1_capacity) {
+            Install::CapacityAbort => {
+                // Roll the directory back for the line we failed to install.
+                self.dir.entry_mut(a).remove_core(c);
+                self.abort_core(c, AbortCause::Capacity);
+                return;
+            }
+            Install::Evicted(victim_line) => {
+                self.dir.entry_mut(victim_line).remove_core(c);
+            }
+            Install::Ok => {}
+        }
+        debug_assert!(self.dir.check_invariants().is_ok());
+        let lat = match &self.cfg.mesh {
+            // Mesh model: request to the home directory slice (round trip)
+            // plus the forwarding triangle via the farthest remote peer.
+            Some(m) => {
+                let l = &self.cfg.latencies;
+                l.l2 + m.directory_latency(c, a)
+                    + remote_peer.map_or(0, |p| m.forward_latency(c, p, a))
+                    + if cold { l.mem } else { 0 }
+            }
+            None => self.cfg.miss_latency(remote, cold),
+        };
+        self.cores[c].pc += 1;
+        self.schedule_step(c, start + lat);
+    }
+
+    // -- conflict resolution -------------------------------------------------
+
+    fn handle_deadline(&mut self, id: usize, stamp: u64) {
+        let Some(req) = self.pending[id] else { return };
+        if req.stamp != stamp {
+            return;
+        }
+        self.trace(|| {
+            format!(
+                "DEADLINE req{id} line={:#x} requestor={} victim={}",
+                req.line, req.requestor, req.victim
+            )
+        });
+        match self.cfg.mode {
+            ResolutionMode::RequestorWins => {
+                // The grace period was armed against a specific receiver. If
+                // that receiver is gone (committed/aborted) and the line
+                // changed hands, this is a *new* conflict: re-arm with a
+                // fresh grace period. Otherwise the grace truly expired:
+                // abort the holders (protected slow-path victims survive).
+                let victims = self.conflicting_holders(req.requestor, req.line, req.write);
+                let original_still_holds = victims.contains(&req.victim)
+                    && self.cores[req.victim].epoch == req.victim_epoch;
+                if !original_still_holds {
+                    self.rearm_deadline(id);
+                    return;
+                }
+                for v in victims {
+                    if self.can_kill(req.requestor, v) {
+                        self.abort_core(v, AbortCause::Conflict);
+                    }
+                }
+                if self.pending[id].is_some() {
+                    self.rearm_deadline(id);
+                }
+            }
+            ResolutionMode::RequestorAborts => {
+                self.abort_core(req.requestor, AbortCause::Conflict);
+            }
+        }
+    }
+
+    /// Re-arm a still-pending request against its new blocking holder with
+    /// a freshly sampled grace period.
+    fn rearm_deadline(&mut self, id: usize) {
+        let Some(req) = self.pending[id] else { return };
+        let victims = self.conflicting_holders(req.requestor, req.line, req.write);
+        let Some(&primary) = victims.first() else {
+            self.grant(id, false);
+            return;
+        };
+        let costed = match self.cfg.mode {
+            ResolutionMode::RequestorWins => primary,
+            ResolutionMode::RequestorAborts => req.requestor,
+        };
+        let elapsed = self.now.saturating_sub(self.cores[costed].attempt_start);
+        let raw_b = (elapsed + self.cfg.abort_cleanup) as f64;
+        let b = if self.cfg.backoff {
+            self.cores[costed].backoff.effective_cost(raw_b)
+        } else {
+            raw_b
+        };
+        let k = if self.cfg.chain_aware {
+            2 + self.transitive_waiters_on(req.requestor) + self.transitive_waiters_on(primary)
+        } else {
+            2
+        };
+        let conflict = Conflict::chain(b.max(1.0), k);
+        let grace = {
+            let policy = Arc::clone(&self.cfg.policy);
+            let rng = &mut self.cores[req.requestor].rng;
+            policy.grace(&conflict, rng)
+        };
+        let grace = if grace.is_finite() {
+            grace
+                .clamp(0.0, self.cfg.grace_cap_factor * b)
+                .min(self.cfg.horizon as f64)
+                .round()
+                .max(1.0) as u64
+        } else {
+            1
+        };
+        self.next_stamp += 1;
+        let stamp = self.next_stamp;
+        let victim_epoch = self.cores[primary].epoch;
+        if let Some(r) = self.pending[id].as_mut() {
+            r.stamp = stamp;
+            r.victim = primary;
+            r.victim_epoch = victim_epoch;
+        }
+        self.cores[req.requestor].waiting_on = Some(primary);
+        self.schedule(self.now + grace, EvKind::Deadline { req: id, stamp });
+    }
+
+    /// Grant every pending request that is no longer blocked by a
+    /// transactional holder. `by_commit` marks grants caused by the blocking
+    /// transaction committing (the "delay paid off" statistic).
+    fn grant_unblocked(&mut self, by_commit: bool) {
+        // FIFO by park time: the longest-waiting requestor gets the line
+        // first (prevents starvation of early parkers when slab slots are
+        // reused LIFO). Re-check holders before each grant — an earlier
+        // grant in this sweep may have re-blocked the line.
+        let mut order: Vec<(u64, usize)> = self
+            .pending
+            .iter()
+            .enumerate()
+            .filter_map(|(id, r)| r.map(|r| (r.stall_start, id)))
+            .collect();
+        order.sort_unstable();
+        for (_, id) in order {
+            if let Some(req) = self.pending[id] {
+                if self
+                    .conflicting_holders(req.requestor, req.line, req.write)
+                    .is_empty()
+                {
+                    self.grant(id, by_commit);
+                }
+            }
+        }
+    }
+
+    fn grant(&mut self, id: usize, by_commit: bool) {
+        let Some(req) = self.pending[id].take() else {
+            return;
+        };
+        self.trace(|| {
+            format!(
+                "GRANT req{id} line={:#x} to core {} (by_commit={by_commit})",
+                req.line, req.requestor
+            )
+        });
+        let r = req.requestor;
+        self.cores[r].waiting_req = None;
+        self.cores[r].waiting_on = None;
+        self.cores[r].attempt_stall += self.now - req.stall_start;
+        self.stats.per_core[r].stall_cycles += self.now - req.stall_start;
+        if by_commit {
+            self.stats.saved_by_delay += 1;
+        }
+        self.perform_miss(r, req.line, req.write, self.now);
+    }
+
+    /// May `killer`'s conflict resolution abort `victim`? Ordinary
+    /// transactions are always killable; slow-path (unkillable) victims only
+    /// yield to older slow-path transactions (greedy timestamp priority).
+    fn can_kill(&self, killer: usize, victim: usize) -> bool {
+        if !self.cores[victim].unkillable {
+            return true;
+        }
+        if !self.cores[killer].unkillable {
+            return false;
+        }
+        (self.cores[killer].first_start, killer) < (self.cores[victim].first_start, victim)
+    }
+
+    // -- waiting-graph queries ------------------------------------------------
+
+    /// Number of cores transitively waiting on `c` (the `k − 2` extra
+    /// members of the conflict chain beyond requestor and receiver).
+    fn transitive_waiters_on(&self, c: usize) -> usize {
+        let mut count = 0;
+        let mut frontier = vec![c];
+        let mut seen = vec![false; self.cfg.cores];
+        seen[c] = true;
+        while let Some(t) = frontier.pop() {
+            for (i, core) in self.cores.iter().enumerate() {
+                if !seen[i] && core.waiting_on == Some(t) {
+                    seen[i] = true;
+                    count += 1;
+                    frontier.push(i);
+                }
+            }
+        }
+        count
+    }
+
+    /// Test-only consistency check: every cached copy agrees with the
+    /// directory.
+    pub fn check_coherence(&self) -> Result<(), String> {
+        self.dir.check_invariants()?;
+        for (c, cache) in self.caches.iter().enumerate() {
+            for a in cache.txn_lines() {
+                let entry = self.dir.entry(a);
+                match cache.get(a).unwrap().state {
+                    CopyState::Modified => {
+                        if entry.owner != Some(c) {
+                            return Err(format!("core {c} has M on {a:#x} w/o ownership"));
+                        }
+                    }
+                    CopyState::Shared => {
+                        if entry.sharers >> c & 1 == 0 {
+                            return Err(format!("core {c} has S on {a:#x} w/o sharer bit"));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcp_core::policy::{DetRw, HandTuned, NoDelay};
+    use tcp_core::randomized::{RandRa, RandRw};
+    use tcp_workloads::programs::{QueueWorkload, StackWorkload, TxAppWorkload};
+
+    fn run_with(
+        cores: usize,
+        policy: Arc<dyn tcp_core::policy::GracePolicy>,
+        mode: ResolutionMode,
+        horizon: u64,
+    ) -> SimStats {
+        let mut cfg = SimConfig::new(cores, policy);
+        cfg.mode = mode;
+        cfg.horizon = horizon;
+        let mut sim = Simulator::new(cfg, Arc::new(StackWorkload::default()));
+        sim.run();
+        sim.check_coherence().expect("coherence violated");
+        sim.stats.clone()
+    }
+
+    #[test]
+    fn single_core_commits_without_aborts() {
+        let s = run_with(
+            1,
+            Arc::new(NoDelay::requestor_wins()),
+            ResolutionMode::RequestorWins,
+            200_000,
+        );
+        assert!(s.commits() > 1000, "commits {}", s.commits());
+        assert_eq!(s.aborts(), 0);
+        assert_eq!(s.conflicts, 0);
+    }
+
+    #[test]
+    fn contended_no_delay_aborts_a_lot() {
+        let s = run_with(
+            8,
+            Arc::new(NoDelay::requestor_wins()),
+            ResolutionMode::RequestorWins,
+            200_000,
+        );
+        assert!(s.commits() > 0);
+        assert!(s.aborts() > 0, "hot stack with 8 threads must conflict");
+        assert!(s.conflicts > 0);
+    }
+
+    #[test]
+    fn delay_policies_reduce_wasted_work_under_contention() {
+        let nd = run_with(
+            12,
+            Arc::new(NoDelay::requestor_wins()),
+            ResolutionMode::RequestorWins,
+            400_000,
+        );
+        let rw = run_with(12, Arc::new(RandRw), ResolutionMode::RequestorWins, 400_000);
+        assert!(
+            rw.commits() > nd.commits(),
+            "delaying should beat NO_DELAY on a hot stack: {} vs {}",
+            rw.commits(),
+            nd.commits()
+        );
+        assert!(
+            rw.saved_by_delay > 0,
+            "some receivers must commit within grace"
+        );
+    }
+
+    #[test]
+    fn requestor_aborts_mode_also_progresses() {
+        let s = run_with(
+            8,
+            Arc::new(RandRa),
+            ResolutionMode::RequestorAborts,
+            300_000,
+        );
+        assert!(s.commits() > 500, "commits {}", s.commits());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = run_with(6, Arc::new(RandRw), ResolutionMode::RequestorWins, 100_000);
+        let b = run_with(6, Arc::new(RandRw), ResolutionMode::RequestorWins, 100_000);
+        assert_eq!(a.commits(), b.commits());
+        assert_eq!(a.aborts(), b.aborts());
+        assert_eq!(a.conflicts, b.conflicts);
+        assert_eq!(a.stall_cycles(), b.stall_cycles());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mk = |seed| {
+            let mut cfg = SimConfig::new(6, Arc::new(RandRw));
+            cfg.horizon = 100_000;
+            cfg.seed = seed;
+            let mut sim = Simulator::new(cfg, Arc::new(StackWorkload::default()));
+            sim.run().commits()
+        };
+        assert_ne!(mk(1), mk(2));
+    }
+
+    #[test]
+    fn capacity_aborts_engage_with_tiny_cache() {
+        let mut cfg = SimConfig::new(1, Arc::new(NoDelay::requestor_wins()));
+        cfg.l1_capacity = 1; // stack txns touch 2 lines
+        cfg.horizon = 50_000;
+        cfg.max_retries = u32::MAX; // fallback cannot mask capacity aborts
+        let mut sim = Simulator::new(cfg, Arc::new(StackWorkload::default()));
+        sim.run();
+        assert!(
+            sim.stats.per_core[0].capacity_aborts > 0,
+            "2-line cache must overflow"
+        );
+    }
+
+    #[test]
+    fn fallback_engages_under_extreme_contention() {
+        let mut cfg = SimConfig::new(16, Arc::new(NoDelay::requestor_wins()));
+        cfg.horizon = 400_000;
+        cfg.max_retries = 2;
+        let mut sim = Simulator::new(cfg, Arc::new(StackWorkload::default()));
+        sim.run();
+        let fallbacks: u64 = sim.stats.per_core.iter().map(|c| c.fallbacks).sum();
+        assert!(fallbacks > 0, "with max_retries=2 some core must fall back");
+        assert!(sim.stats.commits() > 0);
+    }
+
+    #[test]
+    fn all_cores_make_progress_with_delays() {
+        let mut cfg = SimConfig::new(8, Arc::new(DetRw));
+        cfg.horizon = 1_000_000;
+        let mut sim = Simulator::new(cfg, Arc::new(StackWorkload::default()));
+        sim.run();
+        for (i, c) in sim.stats.per_core.iter().enumerate() {
+            assert!(c.commits > 0, "core {i} starved: {c:?}");
+        }
+    }
+
+    #[test]
+    fn queue_less_contended_than_stack() {
+        let mk = |w: Arc<dyn WorkloadGen>| {
+            let mut cfg = SimConfig::new(8, Arc::new(NoDelay::requestor_wins()));
+            cfg.horizon = 300_000;
+            let mut sim = Simulator::new(cfg, w);
+            sim.run();
+            sim.stats.abort_ratio()
+        };
+        let stack = mk(Arc::new(StackWorkload::default()));
+        let queue = mk(Arc::new(QueueWorkload::default()));
+        assert!(
+            queue < stack,
+            "two hotspots should abort less than one: queue {queue} vs stack {stack}"
+        );
+    }
+
+    #[test]
+    fn txapp_scales_better_than_stack() {
+        let mk = |w: Arc<dyn WorkloadGen>| {
+            let mut cfg = SimConfig::new(16, Arc::new(RandRw));
+            cfg.horizon = 300_000;
+            let mut sim = Simulator::new(cfg, w);
+            sim.run();
+            sim.stats.conflicts as f64 / sim.stats.commits() as f64
+        };
+        let stack = mk(Arc::new(StackWorkload::default()));
+        let txapp = mk(Arc::new(TxAppWorkload::default()));
+        assert!(
+            txapp < stack,
+            "64 objects dilute contention (conflicts/commit): {txapp} vs {stack}"
+        );
+    }
+
+    #[test]
+    fn chains_longer_than_two_are_observed() {
+        let mut cfg = SimConfig::new(
+            16,
+            Arc::new(HandTuned::new(ResolutionMode::RequestorWins, 500.0)),
+        );
+        cfg.horizon = 300_000;
+        let mut sim = Simulator::new(cfg, Arc::new(StackWorkload::default()));
+        sim.run();
+        let long_chains: u64 = sim.stats.chain_hist[3..].iter().sum();
+        assert!(
+            long_chains > 0,
+            "16 threads on one hotspot with long delays must form chains: {:?}",
+            sim.stats.chain_hist
+        );
+    }
+
+    #[test]
+    fn stall_cycles_accrue_only_with_delays() {
+        let nd = run_with(
+            8,
+            Arc::new(NoDelay::requestor_wins()),
+            ResolutionMode::RequestorWins,
+            200_000,
+        );
+        assert_eq!(nd.stall_cycles(), 0, "NO_DELAY never parks a request");
+        let det = run_with(8, Arc::new(DetRw), ResolutionMode::RequestorWins, 200_000);
+        assert!(det.stall_cycles() > 0);
+    }
+
+    #[test]
+    fn mesh_model_slows_remote_traffic_but_preserves_correctness() {
+        let mk = |mesh: Option<crate::noc::Mesh>| {
+            let mut cfg = SimConfig::new(16, Arc::new(RandRw));
+            cfg.horizon = 300_000;
+            cfg.mesh = mesh;
+            let mut sim = Simulator::new(cfg, Arc::new(TxAppWorkload::default()));
+            sim.run();
+            sim.check_coherence()
+                .expect("coherence violated under mesh");
+            sim.stats.commits()
+        };
+        let flat = mk(None);
+        let meshed = mk(Some(crate::noc::Mesh::for_cores(16, 4)));
+        assert!(meshed > 0);
+        // A 4-cycle-per-hop mesh is slower than the flat 15-cycle remote
+        // constant on a contended workload (average round trips are longer).
+        assert!(
+            meshed < flat,
+            "mesh should cost throughput: {meshed} vs flat {flat}"
+        );
+    }
+
+    #[test]
+    fn latency_accounting_is_sane() {
+        let s = run_with(4, Arc::new(RandRw), ResolutionMode::RequestorWins, 200_000);
+        // Average latency per committed txn must be at least the body length.
+        let avg = s.total_latency() as f64 / s.commits() as f64;
+        assert!(avg >= StackWorkload::default().mean_body_cycles());
+        assert!(avg < 100_000.0, "implausible avg latency {avg}");
+    }
+}

@@ -1,0 +1,200 @@
+//! Simulation statistics: commits, aborts by cause, wasted work, stall
+//! time, and the derived throughput figures reported by the Figure 3
+//! benchmarks.
+
+/// Why a transaction aborted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AbortCause {
+    /// Lost a conflict (grace period expired against it).
+    Conflict,
+    /// Broke a would-be waiting cycle (the HTM's cycle detector, §3.2(c)).
+    CycleBreak,
+    /// Transactional footprint exceeded the L1 capacity.
+    Capacity,
+}
+
+/// Per-core counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CoreStats {
+    pub commits: u64,
+    pub aborts: u64,
+    pub conflict_aborts: u64,
+    pub cycle_aborts: u64,
+    pub capacity_aborts: u64,
+    /// Cycles of transactional work discarded by aborts.
+    pub wasted_cycles: u64,
+    /// Cycles spent stalled waiting for a delayed conflict resolution.
+    pub stall_cycles: u64,
+    /// Cycles from first attempt start to commit, summed over transactions
+    /// (the paper's Γ(T, A) summed).
+    pub total_latency: u64,
+    /// Number of times the slow-path fallback engaged.
+    pub fallbacks: u64,
+}
+
+/// Whole-simulation statistics.
+#[derive(Clone, Debug, Default)]
+pub struct SimStats {
+    pub per_core: Vec<CoreStats>,
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Conflicts detected (delayed or not).
+    pub conflicts: u64,
+    /// Conflicts that received a non-zero grace period.
+    pub delayed_conflicts: u64,
+    /// Conflicts where the receiver committed within its grace period.
+    pub saved_by_delay: u64,
+    /// Histogram of observed conflict chain lengths k (index = k, k ≤ 16).
+    pub chain_hist: [u64; 17],
+    /// Start-to-commit latency of every committed transaction, in cycles
+    /// (cleared if latency recording is disabled in the config).
+    pub latencies: Vec<u64>,
+}
+
+impl SimStats {
+    pub fn new(cores: usize) -> Self {
+        Self {
+            per_core: vec![CoreStats::default(); cores],
+            ..Self::default()
+        }
+    }
+
+    pub fn commits(&self) -> u64 {
+        self.per_core.iter().map(|c| c.commits).sum()
+    }
+
+    pub fn aborts(&self) -> u64 {
+        self.per_core.iter().map(|c| c.aborts).sum()
+    }
+
+    pub fn wasted_cycles(&self) -> u64 {
+        self.per_core.iter().map(|c| c.wasted_cycles).sum()
+    }
+
+    pub fn stall_cycles(&self) -> u64 {
+        self.per_core.iter().map(|c| c.stall_cycles).sum()
+    }
+
+    /// Committed transactions per simulated cycle (all cores together).
+    pub fn throughput(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.commits() as f64 / self.cycles as f64
+        }
+    }
+
+    /// Ops/second at a nominal clock frequency (the paper reports ops/s on
+    /// a 1 GHz simulated core).
+    pub fn ops_per_second(&self, ghz: f64) -> f64 {
+        self.throughput() * ghz * 1e9
+    }
+
+    /// Aborts per commit — the contention indicator.
+    pub fn abort_ratio(&self) -> f64 {
+        let c = self.commits();
+        if c == 0 {
+            f64::INFINITY
+        } else {
+            self.aborts() as f64 / c as f64
+        }
+    }
+
+    /// Sum over transactions of start-to-commit latency (Σ_T Γ(T, A)); the
+    /// inverse-throughput metric of §6.
+    pub fn total_latency(&self) -> u64 {
+        self.per_core.iter().map(|c| c.total_latency).sum()
+    }
+
+    pub fn record_abort(&mut self, core: usize, cause: AbortCause, wasted: u64) {
+        let c = &mut self.per_core[core];
+        c.aborts += 1;
+        c.wasted_cycles += wasted;
+        match cause {
+            AbortCause::Conflict => c.conflict_aborts += 1,
+            AbortCause::CycleBreak => c.cycle_aborts += 1,
+            AbortCause::Capacity => c.capacity_aborts += 1,
+        }
+    }
+
+    pub fn record_chain(&mut self, k: usize) {
+        self.chain_hist[k.min(16)] += 1;
+    }
+
+    /// Latency percentile over committed transactions (`p ∈ [0, 100]`).
+    /// Returns 0 when no latencies were recorded.
+    pub fn latency_percentile(&mut self, p: f64) -> u64 {
+        if self.latencies.is_empty() {
+            return 0;
+        }
+        debug_assert!((0.0..=100.0).contains(&p));
+        self.latencies.sort_unstable();
+        let idx = ((p / 100.0) * (self.latencies.len() - 1) as f64).round() as usize;
+        self.latencies[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_and_ratios() {
+        let mut s = SimStats::new(2);
+        s.cycles = 1000;
+        s.per_core[0].commits = 30;
+        s.per_core[1].commits = 20;
+        s.per_core[0].aborts = 10;
+        assert_eq!(s.commits(), 50);
+        assert!((s.throughput() - 0.05).abs() < 1e-12);
+        assert!((s.ops_per_second(1.0) - 5e7).abs() < 1.0);
+        assert!((s.abort_ratio() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn abort_causes_are_tallied() {
+        let mut s = SimStats::new(1);
+        s.record_abort(0, AbortCause::Conflict, 100);
+        s.record_abort(0, AbortCause::Capacity, 50);
+        s.record_abort(0, AbortCause::CycleBreak, 25);
+        let c = &s.per_core[0];
+        assert_eq!(
+            (
+                c.aborts,
+                c.conflict_aborts,
+                c.capacity_aborts,
+                c.cycle_aborts
+            ),
+            (3, 1, 1, 1)
+        );
+        assert_eq!(s.wasted_cycles(), 175);
+    }
+
+    #[test]
+    fn chain_histogram_saturates() {
+        let mut s = SimStats::new(1);
+        s.record_chain(2);
+        s.record_chain(2);
+        s.record_chain(40);
+        assert_eq!(s.chain_hist[2], 2);
+        assert_eq!(s.chain_hist[16], 1);
+    }
+
+    #[test]
+    fn zero_cycles_zero_throughput() {
+        let s = SimStats::new(1);
+        assert_eq!(s.throughput(), 0.0);
+        assert!(s.abort_ratio().is_infinite());
+    }
+
+    #[test]
+    fn latency_percentiles() {
+        let mut s = SimStats::new(1);
+        s.latencies = (1..=100).rev().collect();
+        assert_eq!(s.latency_percentile(0.0), 1);
+        assert_eq!(s.latency_percentile(50.0), 51);
+        assert_eq!(s.latency_percentile(100.0), 100);
+        let mut empty = SimStats::new(1);
+        assert_eq!(empty.latency_percentile(99.0), 0);
+    }
+}

@@ -1,0 +1,203 @@
+//! Thread-count sweeps producing the Figure 3 throughput curves.
+
+use std::sync::Arc;
+
+use tcp_core::conflict::ResolutionMode;
+use tcp_core::policy::DetRw;
+use tcp_core::policy::{GracePolicy, HandTuned, NoDelay};
+use tcp_core::randomized::RandRw;
+use tcp_workloads::programs::WorkloadGen;
+
+use crate::config::SimConfig;
+use crate::sim::Simulator;
+use crate::stats::SimStats;
+
+/// One point of a throughput curve.
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    pub threads: usize,
+    pub ops_per_sec: f64,
+    pub abort_ratio: f64,
+    pub stats: SimStats,
+}
+
+/// A named strategy arm of Figure 3.
+pub struct Arm {
+    pub label: &'static str,
+    pub policy: Arc<dyn GracePolicy>,
+}
+
+/// The paper's four experimental arms (§8.2): no delays, hand-tuned fixed
+/// delay (knows the profiled mean body length), the deterministic optimal
+/// strategy, and the randomized optimal strategy.
+pub fn figure3_arms(workload: &dyn WorkloadGen) -> Vec<Arm> {
+    vec![
+        Arm {
+            label: "NO_DELAY",
+            policy: Arc::new(NoDelay::requestor_wins()),
+        },
+        Arm {
+            label: "DELAY_TUNED",
+            policy: Arc::new(HandTuned::new(
+                ResolutionMode::RequestorWins,
+                workload.tuned_delay(),
+            )),
+        },
+        Arm {
+            label: "DELAY_DET",
+            policy: Arc::new(DetRw),
+        },
+        Arm {
+            label: "DELAY_RAND",
+            policy: Arc::new(RandRw),
+        },
+    ]
+}
+
+/// The Figure 3 arms plus the §1 extension arms: the profiler-driven
+/// adaptive policy (sharing a [`MeanProfiler`] with the simulator via
+/// [`sweep_threads_with`]) — note the profiler handle must also be set on
+/// the `SimConfig` for the loop to close.
+pub fn extended_arms(
+    workload: &dyn WorkloadGen,
+) -> (Vec<Arm>, std::sync::Arc<tcp_core::profiler::MeanProfiler>) {
+    let profiler = tcp_core::profiler::MeanProfiler::shared();
+    let mut arms = figure3_arms(workload);
+    arms.push(Arm {
+        label: "DELAY_ADAPT",
+        policy: Arc::new(tcp_core::profiler::AdaptiveMean::requestor_wins(
+            Arc::clone(&profiler),
+        )),
+    });
+    (arms, profiler)
+}
+
+/// Sweep thread counts for one policy arm over one workload.
+pub fn sweep_threads(
+    workload: Arc<dyn WorkloadGen>,
+    policy: Arc<dyn GracePolicy>,
+    threads: &[usize],
+    horizon: u64,
+    ghz: f64,
+    seed: u64,
+) -> Vec<SweepPoint> {
+    sweep_threads_with(workload, policy, threads, horizon, ghz, seed, None)
+}
+
+/// [`sweep_threads`] with an optional shared profiler wired into the
+/// simulator's commit path (for the `DELAY_ADAPT` arm).
+pub fn sweep_threads_with(
+    workload: Arc<dyn WorkloadGen>,
+    policy: Arc<dyn GracePolicy>,
+    threads: &[usize],
+    horizon: u64,
+    ghz: f64,
+    seed: u64,
+    profiler: Option<Arc<tcp_core::profiler::MeanProfiler>>,
+) -> Vec<SweepPoint> {
+    threads
+        .iter()
+        .map(|&t| {
+            let mut cfg = SimConfig::new(t, Arc::clone(&policy));
+            cfg.horizon = horizon;
+            cfg.seed = seed ^ (t as u64) << 32;
+            cfg.profiler = profiler.clone();
+            let mut sim = Simulator::new(cfg, Arc::clone(&workload));
+            sim.run();
+            SweepPoint {
+                threads: t,
+                ops_per_sec: sim.stats.ops_per_second(ghz),
+                abort_ratio: sim.stats.abort_ratio(),
+                stats: sim.stats.clone(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcp_workloads::programs::StackWorkload;
+
+    #[test]
+    fn sweep_produces_one_point_per_thread_count() {
+        let pts = sweep_threads(
+            Arc::new(StackWorkload::default()),
+            Arc::new(RandRw),
+            &[1, 2, 4],
+            100_000,
+            1.0,
+            7,
+        );
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[0].threads, 1);
+        assert!(pts.iter().all(|p| p.ops_per_sec > 0.0));
+    }
+
+    #[test]
+    fn single_thread_throughput_is_highest_per_thread() {
+        let pts = sweep_threads(
+            Arc::new(StackWorkload::default()),
+            Arc::new(NoDelay::requestor_wins()),
+            &[1, 8],
+            200_000,
+            1.0,
+            7,
+        );
+        let per_thread_1 = pts[0].ops_per_sec;
+        let per_thread_8 = pts[1].ops_per_sec / 8.0;
+        assert!(
+            per_thread_8 < per_thread_1,
+            "contention must reduce per-thread throughput"
+        );
+    }
+
+    #[test]
+    fn figure3_arms_are_the_paper_arms() {
+        let w = StackWorkload::default();
+        let arms = figure3_arms(&w);
+        let labels: Vec<_> = arms.iter().map(|a| a.label).collect();
+        assert_eq!(
+            labels,
+            ["NO_DELAY", "DELAY_TUNED", "DELAY_DET", "DELAY_RAND"]
+        );
+    }
+
+    #[test]
+    fn adaptive_arm_profiles_and_performs() {
+        let w: Arc<dyn WorkloadGen> = Arc::new(StackWorkload::default());
+        let (arms, profiler) = extended_arms(w.as_ref());
+        let adapt = arms.into_iter().find(|a| a.label == "DELAY_ADAPT").unwrap();
+        let pts = sweep_threads_with(
+            Arc::clone(&w),
+            adapt.policy,
+            &[8],
+            400_000,
+            1.0,
+            7,
+            Some(Arc::clone(&profiler)),
+        );
+        // The profiler saw the commits...
+        assert!(profiler.samples() > 100);
+        let mu = profiler.mean().unwrap();
+        assert!(mu > 10.0 && mu < 10_000.0, "profiled mean {mu}");
+        // ...and the adaptive arm stays within 2x of the tuned arm.
+        let tuned = sweep_threads(
+            Arc::clone(&w),
+            Arc::new(HandTuned::new(
+                ResolutionMode::RequestorWins,
+                w.tuned_delay(),
+            )),
+            &[8],
+            400_000,
+            1.0,
+            7,
+        );
+        assert!(
+            pts[0].ops_per_sec > tuned[0].ops_per_sec / 2.0,
+            "adaptive {} vs tuned {}",
+            pts[0].ops_per_sec,
+            tuned[0].ops_per_sec
+        );
+    }
+}

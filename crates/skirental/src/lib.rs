@@ -1,0 +1,41 @@
+//! # tcp-skirental — the ski rental substrate
+//!
+//! The requestor-aborts side of the transactional conflict problem reduces
+//! to the classic ski rental problem (paper §4.2): delaying a requestor one
+//! more step is "renting", aborting it is "buying". This crate implements
+//! the classic problem and its known optimal strategies —
+//!
+//! * [`strategy::BuyAtB`] — deterministic, 2-competitive;
+//! * [`strategy::KarlinDiscrete`] — Theorem 1's discrete distribution,
+//!   `e/(e−1)`-competitive;
+//! * [`strategy::ContinuousExp`] — its continuous analogue (shared density
+//!   with `tcp-core`'s requestor-aborts strategy);
+//! * [`strategy::MeanConstrained`] — Khanafer et al.'s Theorem 2 with the
+//!   `µ/B < 2(e−2)/(e−1)` case split;
+//!
+//! — plus adversaries and a Monte-Carlo evaluation harness used by the
+//! theory-verification benchmarks.
+//!
+//! ```
+//! use tcp_skirental::prelude::*;
+//! use tcp_core::rng::Xoshiro256StarStar;
+//!
+//! let problem = SkiRental::new(100.0);
+//! let mut rng = Xoshiro256StarStar::new(1);
+//! let report = simulate(&problem, &ContinuousExp, &FixedSeason(60.0), 10_000, &mut rng);
+//! assert!(report.cost_ratio < 1.65); // ≤ e/(e−1) + noise
+//! ```
+
+pub mod problem;
+pub mod simulate;
+pub mod strategy;
+
+pub mod prelude {
+    pub use crate::problem::{from_conflict, SkiRental};
+    pub use crate::simulate::{
+        simulate, FixedSeason, JustAfterBuy, RandomSeason, RentalReport, SeasonAdversary,
+    };
+    pub use crate::strategy::{
+        BuyAtB, ContinuousExp, KarlinDiscrete, MeanConstrained, RentalStrategy,
+    };
+}

@@ -1,0 +1,104 @@
+//! The ski rental problem (paper §3.3) in both its discrete and continuous
+//! forms, and the explicit mapping to the requestor-aborts transactional
+//! conflict problem (paper §4.2).
+
+/// A ski-rental instance: rent for 1 per day, or buy for `buy_cost`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SkiRental {
+    /// Purchase price `B` (rental is 1 per day w.l.o.g.).
+    pub buy_cost: f64,
+}
+
+impl SkiRental {
+    pub fn new(buy_cost: f64) -> Self {
+        assert!(buy_cost.is_finite() && buy_cost >= 1.0, "B must be ≥ 1");
+        Self { buy_cost }
+    }
+
+    /// Discrete cost of buying at the start of day `buy_day` (1-based; a
+    /// `buy_day` of `u32::MAX` means "never buy") when the season lasts `d`
+    /// days: rent for `buy_day − 1` days then pay `B`, unless the season
+    /// ends first.
+    pub fn cost_discrete(&self, d: u32, buy_day: u32) -> f64 {
+        if d < buy_day {
+            d as f64
+        } else {
+            (buy_day - 1) as f64 + self.buy_cost
+        }
+    }
+
+    /// Continuous cost: rent up to time `x` then buy, season length `d`.
+    /// The paper's §4.2 boundary convention: at `x = d` the purchase still
+    /// happens (the transaction "is not able to commit" exactly at the
+    /// deadline).
+    pub fn cost_continuous(&self, d: f64, x: f64) -> f64 {
+        if d < x {
+            d
+        } else {
+            x + self.buy_cost
+        }
+    }
+
+    /// Offline optimum `min(D, B)` (same in both forms).
+    pub fn opt(&self, d: f64) -> f64 {
+        d.min(self.buy_cost)
+    }
+}
+
+/// Mapping of §4.2: a requestor-aborts conflict with abort cost `B` *is* a
+/// ski rental with purchase price `B`; renting a day = delaying the
+/// requestor one step; the unknown season length `D` = the receiver's
+/// remaining execution time.
+pub fn from_conflict(c: &tcp_core::conflict::Conflict) -> SkiRental {
+    SkiRental::new(c.abort_cost.max(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discrete_cost_branches() {
+        let s = SkiRental::new(10.0);
+        // Season shorter than the buy day: pure rental.
+        assert_eq!(s.cost_discrete(3, 5), 3.0);
+        // Buy on day 5: 4 days of rent + B.
+        assert_eq!(s.cost_discrete(7, 5), 14.0);
+        // Buy on day 1: immediately pay B.
+        assert_eq!(s.cost_discrete(7, 1), 10.0);
+        // Never buy.
+        assert_eq!(s.cost_discrete(7, u32::MAX), 7.0);
+    }
+
+    #[test]
+    fn deterministic_buy_at_b_costs_2b_minus_1() {
+        let b = 10.0;
+        let s = SkiRental::new(b);
+        // Classic: buy on day B; adversary stops right after.
+        let worst = s.cost_discrete(b as u32, b as u32);
+        assert_eq!(worst, 2.0 * b - 1.0);
+        assert_eq!(worst / s.opt(b), (2.0 * b - 1.0) / b);
+    }
+
+    #[test]
+    fn continuous_cost_and_opt() {
+        let s = SkiRental::new(10.0);
+        assert_eq!(s.cost_continuous(3.0, 5.0), 3.0);
+        assert_eq!(s.cost_continuous(7.0, 5.0), 15.0);
+        assert_eq!(s.opt(3.0), 3.0);
+        assert_eq!(s.opt(30.0), 10.0);
+    }
+
+    #[test]
+    fn conflict_mapping_preserves_cost_structure() {
+        use tcp_core::conflict::{ra_cost, ra_opt, Conflict};
+        let c = Conflict::pair(50.0);
+        let s = from_conflict(&c);
+        for d in [1.0, 10.0, 49.0, 60.0] {
+            for x in [0.0, 5.0, 50.0] {
+                assert_eq!(s.cost_continuous(d, x), ra_cost(&c, d, x));
+            }
+            assert_eq!(s.opt(d), ra_opt(&c, d));
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Monte-Carlo evaluation of rental strategies against adversaries.
+
+use rand::RngCore;
+
+use crate::problem::SkiRental;
+use crate::strategy::RentalStrategy;
+
+/// A source of season lengths `D` — the "adversary" of the online analysis.
+pub trait SeasonAdversary: Send + Sync {
+    fn season(&self, p: &SkiRental, rng: &mut dyn RngCore) -> f64;
+    fn name(&self) -> String;
+}
+
+/// A fixed season length.
+#[derive(Clone, Copy, Debug)]
+pub struct FixedSeason(pub f64);
+
+impl SeasonAdversary for FixedSeason {
+    fn season(&self, _p: &SkiRental, _rng: &mut dyn RngCore) -> f64 {
+        self.0
+    }
+    fn name(&self) -> String {
+        format!("D={}", self.0)
+    }
+}
+
+/// The classic worst case for a deterministic buy-at-B strategy: the season
+/// ends the moment the skis are bought.
+#[derive(Clone, Copy, Debug)]
+pub struct JustAfterBuy;
+
+impl SeasonAdversary for JustAfterBuy {
+    fn season(&self, p: &SkiRental, _rng: &mut dyn RngCore) -> f64 {
+        p.buy_cost
+    }
+    fn name(&self) -> String {
+        "D=B".into()
+    }
+}
+
+/// Seasons drawn from an arbitrary sampler (e.g. one of the §8.1 length
+/// distributions).
+pub struct RandomSeason<F: Fn(&mut dyn RngCore) -> f64 + Send + Sync> {
+    pub sampler: F,
+    pub label: String,
+}
+
+impl<F: Fn(&mut dyn RngCore) -> f64 + Send + Sync> SeasonAdversary for RandomSeason<F> {
+    fn season(&self, _p: &SkiRental, rng: &mut dyn RngCore) -> f64 {
+        (self.sampler)(rng)
+    }
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+}
+
+/// Aggregate outcome of a simulation run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RentalReport {
+    pub trials: usize,
+    pub mean_cost: f64,
+    pub mean_opt: f64,
+    /// Ratio of means E[cost]/E[OPT] — the throughput-style metric.
+    pub cost_ratio: f64,
+    /// Mean of per-trial ratios E[cost/OPT] — the per-instance metric.
+    pub mean_ratio: f64,
+}
+
+/// Run `trials` independent seasons of strategy `s` against adversary `a`
+/// in the continuous model.
+pub fn simulate(
+    p: &SkiRental,
+    s: &dyn RentalStrategy,
+    a: &dyn SeasonAdversary,
+    trials: usize,
+    rng: &mut dyn RngCore,
+) -> RentalReport {
+    let mut sum_cost = 0.0;
+    let mut sum_opt = 0.0;
+    let mut sum_ratio = 0.0;
+    for _ in 0..trials {
+        let d = a.season(p, rng).max(f64::MIN_POSITIVE);
+        let x = s.buy_time(p, rng);
+        let cost = p.cost_continuous(d, x);
+        let opt = p.opt(d);
+        sum_cost += cost;
+        sum_opt += opt;
+        sum_ratio += cost / opt;
+    }
+    let n = trials as f64;
+    RentalReport {
+        trials,
+        mean_cost: sum_cost / n,
+        mean_opt: sum_opt / n,
+        cost_ratio: sum_cost / sum_opt,
+        mean_ratio: sum_ratio / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::{BuyAtB, ContinuousExp, MeanConstrained};
+    use tcp_core::rng::Xoshiro256StarStar;
+
+    #[test]
+    fn exp_strategy_is_e_over_e_minus_1_against_worst_case() {
+        let p = SkiRental::new(100.0);
+        let mut rng = Xoshiro256StarStar::new(5);
+        // The equalizing adversary can pick any D; try several fixed values
+        // and verify the expected ratio never exceeds e/(e-1).
+        let e = std::f64::consts::E;
+        let bound = e / (e - 1.0);
+        for d in [10.0, 50.0, 99.0, 100.0, 500.0] {
+            let r = simulate(&p, &ContinuousExp, &FixedSeason(d), 120_000, &mut rng);
+            assert!(
+                r.cost_ratio <= bound + 0.02,
+                "D={d}: ratio {} exceeds {bound}",
+                r.cost_ratio
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_hits_exactly_2_at_worst_case() {
+        let p = SkiRental::new(100.0);
+        let mut rng = Xoshiro256StarStar::new(6);
+        let r = simulate(&p, &BuyAtB, &JustAfterBuy, 100, &mut rng);
+        // D = B = x: continuous cost = x + B = 2B, OPT = B.
+        assert!((r.cost_ratio - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_knowledge_beats_unconstrained_under_honest_adversary() {
+        let p = SkiRental::new(100.0);
+        let mu = 20.0;
+        let mut rng = Xoshiro256StarStar::new(7);
+        // Exponential season lengths with mean µ — honest w.r.t. the prior.
+        let adv = RandomSeason {
+            sampler: move |rng: &mut dyn RngCore| -mu * (1.0 - tcp_core::rng::uniform01(rng)).ln(),
+            label: "exp(mu)".into(),
+        };
+        let constrained = simulate(&p, &MeanConstrained::new(mu), &adv, 200_000, &mut rng);
+        let unconstrained = simulate(&p, &ContinuousExp, &adv, 200_000, &mut rng);
+        assert!(
+            constrained.cost_ratio < unconstrained.cost_ratio,
+            "constrained {} vs unconstrained {}",
+            constrained.cost_ratio,
+            unconstrained.cost_ratio
+        );
+    }
+}

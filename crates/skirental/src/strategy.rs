@@ -1,0 +1,230 @@
+//! Online strategies for ski rental: when to stop renting and buy.
+
+use rand::RngCore;
+use tcp_core::pdf::GracePdf;
+use tcp_core::pdfs::{RaMeanPdf, RaUnconstrainedPdf};
+use tcp_core::rng::uniform01;
+
+use crate::problem::SkiRental;
+
+/// An online ski-rental strategy: commits to a (possibly random) buy time
+/// before seeing the season length.
+pub trait RentalStrategy: Send + Sync {
+    /// Continuous buy time `x ≥ 0`.
+    fn buy_time(&self, p: &SkiRental, rng: &mut dyn RngCore) -> f64;
+
+    /// Discrete buy day (1-based). Default: round the continuous time up.
+    fn buy_day(&self, p: &SkiRental, rng: &mut dyn RngCore) -> u32 {
+        let x = self.buy_time(p, rng);
+        (x.floor() as u32).saturating_add(1)
+    }
+
+    fn name(&self) -> String;
+
+    /// Analytic competitive ratio, if known.
+    fn ratio(&self, p: &SkiRental) -> Option<f64> {
+        let _ = p;
+        None
+    }
+}
+
+/// Deterministic: rent `B − 1` days, buy on day `B` (continuous: buy at
+/// time `B`). 2-competitive (exactly `2 − 1/B` in the discrete model).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BuyAtB;
+
+impl RentalStrategy for BuyAtB {
+    fn buy_time(&self, p: &SkiRental, _rng: &mut dyn RngCore) -> f64 {
+        p.buy_cost
+    }
+    fn buy_day(&self, p: &SkiRental, _rng: &mut dyn RngCore) -> u32 {
+        p.buy_cost.ceil() as u32
+    }
+    fn name(&self) -> String {
+        "DET_BUY_AT_B".into()
+    }
+    fn ratio(&self, p: &SkiRental) -> Option<f64> {
+        Some(2.0 - 1.0 / p.buy_cost)
+    }
+}
+
+/// The discrete randomized strategy of Theorem 1 (Karlin et al.): buy on
+/// day `i ∈ {1..B}` with probability
+/// `p(i) = ((B−1)/B)^{B−i} / (B(1 − (1 − 1/B)^B))`,
+/// achieving expected cost `(e/(e−1))·min(D, B)` as `B → ∞`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct KarlinDiscrete;
+
+impl KarlinDiscrete {
+    /// CDF over buy days: `F(j) = q^{B−j}(1 − q^j)/(1 − q^B)`, `q = 1−1/B`.
+    pub fn cdf(b: u32, j: u32) -> f64 {
+        assert!(b >= 1 && (1..=b).contains(&j));
+        let q = 1.0 - 1.0 / b as f64;
+        q.powi((b - j) as i32) * (1.0 - q.powi(j as i32)) / (1.0 - q.powi(b as i32))
+    }
+
+    /// Probability mass at day `j`.
+    pub fn pmf(b: u32, j: u32) -> f64 {
+        let q = 1.0 - 1.0 / b as f64;
+        q.powi((b - j) as i32) / (b as f64 * (1.0 - q.powi(b as i32)))
+    }
+}
+
+impl RentalStrategy for KarlinDiscrete {
+    fn buy_time(&self, p: &SkiRental, rng: &mut dyn RngCore) -> f64 {
+        (self.buy_day(p, rng) - 1) as f64
+    }
+
+    fn buy_day(&self, p: &SkiRental, rng: &mut dyn RngCore) -> u32 {
+        let b = p.buy_cost.round().max(1.0) as u32;
+        let u = uniform01(rng);
+        // Binary search the discrete CDF (monotone in j).
+        let (mut lo, mut hi) = (1u32, b);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if Self::cdf(b, mid) < u {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    fn name(&self) -> String {
+        "KARLIN".into()
+    }
+
+    fn ratio(&self, _p: &SkiRental) -> Option<f64> {
+        let e = std::f64::consts::E;
+        Some(e / (e - 1.0))
+    }
+}
+
+/// Continuous analogue of Theorem 1: density `e^{x/B}/(B(e−1))` on `[0, B]`
+/// — shared with the requestor-aborts transactional strategy.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ContinuousExp;
+
+impl RentalStrategy for ContinuousExp {
+    fn buy_time(&self, p: &SkiRental, rng: &mut dyn RngCore) -> f64 {
+        RaUnconstrainedPdf::new(p.buy_cost, 2).sample(rng)
+    }
+    fn name(&self) -> String {
+        "EXP".into()
+    }
+    fn ratio(&self, _p: &SkiRental) -> Option<f64> {
+        let e = std::f64::consts::E;
+        Some(e / (e - 1.0))
+    }
+}
+
+/// The constrained ski-rental strategy of Khanafer et al. (Theorem 2):
+/// density `(e^{x/B} − 1)/(B(e−2))` on `[0, B]` when `µ/B < 2(e−2)/(e−1)`,
+/// ratio `1 + µ/(2B(e−2))`; otherwise falls back to [`ContinuousExp`].
+#[derive(Clone, Copy, Debug)]
+pub struct MeanConstrained {
+    pub mu: f64,
+}
+
+impl MeanConstrained {
+    pub fn new(mu: f64) -> Self {
+        assert!(mu.is_finite() && mu > 0.0);
+        Self { mu }
+    }
+
+    /// Theorem 2's applicability condition.
+    pub fn constraint_binds(&self, p: &SkiRental) -> bool {
+        let e = std::f64::consts::E;
+        self.mu / p.buy_cost < 2.0 * (e - 2.0) / (e - 1.0)
+    }
+}
+
+impl RentalStrategy for MeanConstrained {
+    fn buy_time(&self, p: &SkiRental, rng: &mut dyn RngCore) -> f64 {
+        if self.constraint_binds(p) {
+            RaMeanPdf::new(p.buy_cost, 2).sample(rng)
+        } else {
+            RaUnconstrainedPdf::new(p.buy_cost, 2).sample(rng)
+        }
+    }
+    fn name(&self) -> String {
+        "EXP(mu)".into()
+    }
+    fn ratio(&self, p: &SkiRental) -> Option<f64> {
+        let e = std::f64::consts::E;
+        if self.constraint_binds(p) {
+            Some(1.0 + self.mu / (2.0 * p.buy_cost * (e - 2.0)))
+        } else {
+            Some(e / (e - 1.0))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcp_core::rng::Xoshiro256StarStar;
+
+    #[test]
+    fn karlin_pmf_sums_to_one() {
+        for b in [2u32, 5, 10, 100, 1000] {
+            let total: f64 = (1..=b).map(|j| KarlinDiscrete::pmf(b, j)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "B={b}: {total}");
+            assert!((KarlinDiscrete::cdf(b, b) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn karlin_sampling_matches_pmf() {
+        let b = 10u32;
+        let p = SkiRental::new(b as f64);
+        let mut rng = Xoshiro256StarStar::new(21);
+        let n = 200_000;
+        let mut counts = vec![0usize; (b + 1) as usize];
+        let strat = KarlinDiscrete;
+        for _ in 0..n {
+            let day = strat.buy_day(&p, &mut rng);
+            assert!((1..=b).contains(&day));
+            counts[day as usize] += 1;
+        }
+        for j in 1..=b {
+            let emp = counts[j as usize] as f64 / n as f64;
+            let exact = KarlinDiscrete::pmf(b, j);
+            assert!((emp - exact).abs() < 0.005, "day {j}: {emp} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn buy_at_b_never_pays_more_than_2b_minus_1() {
+        let p = SkiRental::new(10.0);
+        let mut rng = Xoshiro256StarStar::new(1);
+        let day = BuyAtB.buy_day(&p, &mut rng);
+        for d in 1..40 {
+            let cost = p.cost_discrete(d, day);
+            assert!(cost <= 2.0 * p.buy_cost - 1.0 + 1e-9);
+            assert!(cost / p.opt(d as f64) <= 2.0 - 1.0 / p.buy_cost + 1e-9);
+        }
+    }
+
+    #[test]
+    fn mean_constrained_threshold() {
+        let p = SkiRental::new(100.0);
+        assert!(MeanConstrained::new(10.0).constraint_binds(&p));
+        assert!(!MeanConstrained::new(95.0).constraint_binds(&p));
+        // Ratio is better than e/(e-1) when it binds.
+        let e = std::f64::consts::E;
+        let r = MeanConstrained::new(10.0).ratio(&p).unwrap();
+        assert!(r < e / (e - 1.0));
+    }
+
+    #[test]
+    fn continuous_exp_support() {
+        let p = SkiRental::new(50.0);
+        let mut rng = Xoshiro256StarStar::new(3);
+        for _ in 0..1000 {
+            let x = ContinuousExp.buy_time(&p, &mut rng);
+            assert!((0.0..=50.0 + 1e-9).contains(&x));
+        }
+    }
+}

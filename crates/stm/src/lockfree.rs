@@ -1,0 +1,364 @@
+//! Lock-free data structures — the "slow path backups" of the paper's
+//! benchmarks (§8.2: "The stack and the queue use lock-free designs as
+//! 'slow path' backups").
+//!
+//! A Treiber stack and a Michael–Scott queue on `crossbeam_epoch` memory
+//! reclamation. They serve three purposes in this workspace: as the
+//! reference slow path the simulator's `unkillable` fallback models, as a
+//! baseline in the real-thread throughput benches (transactional vs
+//! lock-free), and as the non-transactional control group in the tests.
+
+use crossbeam::epoch::{self, Atomic, Owned, Shared};
+use std::mem::ManuallyDrop;
+use std::sync::atomic::Ordering;
+
+/// Treiber stack: a lock-free LIFO with CAS on the top pointer.
+pub struct TreiberStack<T> {
+    head: Atomic<Node<T>>,
+}
+
+struct Node<T> {
+    /// Moved out by the winning `pop`; the epoch-deferred node destructor
+    /// must not drop it a second time.
+    value: ManuallyDrop<T>,
+    next: Atomic<Node<T>>,
+}
+
+impl<T> Default for TreiberStack<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> TreiberStack<T> {
+    pub fn new() -> Self {
+        Self {
+            head: Atomic::null(),
+        }
+    }
+
+    /// Push a value (lock-free).
+    pub fn push(&self, value: T) {
+        let mut node = Owned::new(Node {
+            value: ManuallyDrop::new(value),
+            next: Atomic::null(),
+        });
+        let guard = epoch::pin();
+        loop {
+            let head = self.head.load(Ordering::Acquire, &guard);
+            node.next.store(head, Ordering::Relaxed);
+            match self.head.compare_exchange(
+                head,
+                node,
+                Ordering::Release,
+                Ordering::Relaxed,
+                &guard,
+            ) {
+                Ok(_) => return,
+                Err(e) => node = e.new,
+            }
+        }
+    }
+
+    /// Pop the most recent value (lock-free); `None` when empty.
+    pub fn pop(&self) -> Option<T> {
+        let guard = epoch::pin();
+        loop {
+            let head = self.head.load(Ordering::Acquire, &guard);
+            let h = unsafe { head.as_ref()? };
+            let next = h.next.load(Ordering::Acquire, &guard);
+            if self
+                .head
+                .compare_exchange(head, next, Ordering::Release, Ordering::Relaxed, &guard)
+                .is_ok()
+            {
+                unsafe {
+                    guard.defer_destroy(head);
+                    return Some(ManuallyDrop::into_inner(std::ptr::read(&h.value)));
+                }
+            }
+        }
+    }
+
+    /// Approximate emptiness (exact only in quiescence).
+    pub fn is_empty(&self) -> bool {
+        let guard = epoch::pin();
+        self.head.load(Ordering::Acquire, &guard).is_null()
+    }
+}
+
+impl<T> Drop for TreiberStack<T> {
+    fn drop(&mut self) {
+        while self.pop().is_some() {}
+    }
+}
+
+/// Michael–Scott queue: a lock-free FIFO with a dummy head node.
+pub struct MsQueue<T> {
+    head: Atomic<QNode<T>>,
+    tail: Atomic<QNode<T>>,
+}
+
+struct QNode<T> {
+    /// `None` only in the dummy node. Moved out by the winning `dequeue`
+    /// (the node then *becomes* the dummy); `ManuallyDrop` keeps the
+    /// epoch-deferred destructor from double-dropping it.
+    value: Option<ManuallyDrop<T>>,
+    next: Atomic<QNode<T>>,
+}
+
+impl<T> Default for MsQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> MsQueue<T> {
+    pub fn new() -> Self {
+        let dummy = Owned::new(QNode {
+            value: None,
+            next: Atomic::null(),
+        })
+        .into_shared(unsafe { epoch::unprotected() });
+        Self {
+            head: Atomic::from(dummy),
+            tail: Atomic::from(dummy),
+        }
+    }
+
+    /// Enqueue at the tail (lock-free).
+    pub fn enqueue(&self, value: T) {
+        let node = Owned::new(QNode {
+            value: Some(ManuallyDrop::new(value)),
+            next: Atomic::null(),
+        });
+        let guard = epoch::pin();
+        let node = node.into_shared(&guard);
+        loop {
+            let tail = self.tail.load(Ordering::Acquire, &guard);
+            let t = unsafe { tail.deref() };
+            let next = t.next.load(Ordering::Acquire, &guard);
+            if !next.is_null() {
+                // Help a lagging enqueuer swing the tail.
+                let _ = self.tail.compare_exchange(
+                    tail,
+                    next,
+                    Ordering::Release,
+                    Ordering::Relaxed,
+                    &guard,
+                );
+                continue;
+            }
+            if t.next
+                .compare_exchange(
+                    Shared::null(),
+                    node,
+                    Ordering::Release,
+                    Ordering::Relaxed,
+                    &guard,
+                )
+                .is_ok()
+            {
+                let _ = self.tail.compare_exchange(
+                    tail,
+                    node,
+                    Ordering::Release,
+                    Ordering::Relaxed,
+                    &guard,
+                );
+                return;
+            }
+        }
+    }
+
+    /// Dequeue from the head (lock-free); `None` when empty.
+    pub fn dequeue(&self) -> Option<T> {
+        let guard = epoch::pin();
+        loop {
+            let head = self.head.load(Ordering::Acquire, &guard);
+            let h = unsafe { head.deref() };
+            let next = h.next.load(Ordering::Acquire, &guard);
+            let n = unsafe { next.as_ref()? };
+            let tail = self.tail.load(Ordering::Acquire, &guard);
+            if head == tail {
+                // Tail is lagging; help it along.
+                let _ = self.tail.compare_exchange(
+                    tail,
+                    next,
+                    Ordering::Release,
+                    Ordering::Relaxed,
+                    &guard,
+                );
+            }
+            if self
+                .head
+                .compare_exchange(head, next, Ordering::Release, Ordering::Relaxed, &guard)
+                .is_ok()
+            {
+                unsafe {
+                    guard.defer_destroy(head);
+                    // The new head becomes the dummy; move its value out.
+                    return Some(ManuallyDrop::into_inner(std::ptr::read(
+                        n.value.as_ref().unwrap(),
+                    )));
+                }
+            }
+        }
+    }
+}
+
+impl<T> Drop for MsQueue<T> {
+    fn drop(&mut self) {
+        while self.dequeue().is_some() {}
+        // Free the remaining dummy node.
+        unsafe {
+            let guard = epoch::unprotected();
+            let head = self.head.load(Ordering::Relaxed, guard);
+            if !head.is_null() {
+                drop(head.into_owned());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    #[test]
+    fn stack_lifo_sequential() {
+        let s = TreiberStack::new();
+        assert!(s.is_empty());
+        s.push(1);
+        s.push(2);
+        s.push(3);
+        assert_eq!(s.pop(), Some(3));
+        assert_eq!(s.pop(), Some(2));
+        assert_eq!(s.pop(), Some(1));
+        assert_eq!(s.pop(), None);
+    }
+
+    #[test]
+    fn queue_fifo_sequential() {
+        let q = MsQueue::new();
+        q.enqueue(1);
+        q.enqueue(2);
+        assert_eq!(q.dequeue(), Some(1));
+        q.enqueue(3);
+        assert_eq!(q.dequeue(), Some(2));
+        assert_eq!(q.dequeue(), Some(3));
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn stack_concurrent_conservation() {
+        let s = Arc::new(TreiberStack::new());
+        let produced = Arc::new(AtomicU64::new(0));
+        let consumed = Arc::new(AtomicU64::new(0));
+        let per = 10_000u64;
+        std::thread::scope(|scope| {
+            for id in 0..4u64 {
+                let s = Arc::clone(&s);
+                let produced = Arc::clone(&produced);
+                scope.spawn(move || {
+                    for i in 0..per {
+                        let v = id * per + i + 1;
+                        s.push(v);
+                        produced.fetch_add(v, Ordering::Relaxed);
+                    }
+                });
+            }
+            for _ in 0..4 {
+                let s = Arc::clone(&s);
+                let consumed = Arc::clone(&consumed);
+                scope.spawn(move || {
+                    let mut got = 0;
+                    while got < per {
+                        if let Some(v) = s.pop() {
+                            consumed.fetch_add(v, Ordering::Relaxed);
+                            got += 1;
+                        } else {
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            produced.load(Ordering::Relaxed),
+            consumed.load(Ordering::Relaxed)
+        );
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn queue_concurrent_per_producer_order() {
+        let q = Arc::new(MsQueue::new());
+        let per = 20_000u64;
+        std::thread::scope(|scope| {
+            for id in 0..2u64 {
+                let q = Arc::clone(&q);
+                scope.spawn(move || {
+                    for i in 0..per {
+                        q.enqueue((id << 32) | i);
+                    }
+                });
+            }
+            let q2 = Arc::clone(&q);
+            scope.spawn(move || {
+                let mut next = [0u64; 2];
+                let mut seen = 0;
+                while seen < 2 * per {
+                    if let Some(v) = q2.dequeue() {
+                        let id = (v >> 32) as usize;
+                        let i = v & 0xFFFF_FFFF;
+                        assert_eq!(i, next[id], "producer {id} out of order");
+                        next[id] += 1;
+                        seen += 1;
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        });
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn drop_reclaims_without_leak_or_crash() {
+        // Push without popping, then drop: Drop must free all nodes.
+        let s = TreiberStack::new();
+        for i in 0..1000 {
+            s.push(i);
+        }
+        drop(s);
+        let q = MsQueue::new();
+        for i in 0..1000 {
+            q.enqueue(i);
+        }
+        drop(q);
+    }
+
+    #[test]
+    fn boxed_payloads_are_freed_exactly_once() {
+        // Heap payloads through the full concurrent churn: no double-free
+        // (would crash under the allocator) and no leak of popped values.
+        let s = Arc::new(TreiberStack::new());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let s = Arc::clone(&s);
+                scope.spawn(move || {
+                    for i in 0..5_000u64 {
+                        s.push(Box::new(i));
+                        if i % 2 == 0 {
+                            let _ = s.pop();
+                        }
+                    }
+                });
+            }
+        });
+        while s.pop().is_some() {}
+    }
+}

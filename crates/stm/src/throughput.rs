@@ -1,0 +1,227 @@
+//! Real-thread throughput harness: run a transactional workload on the STM
+//! for a fixed wall-clock duration per policy and thread count. This is the
+//! software analogue of the HTM Figure 3 sweeps, validating the policies
+//! outside the simulator.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tcp_core::policy::GracePolicy;
+use tcp_core::rng::{uniform_u64_below, Xoshiro256StarStar};
+
+use crate::runtime::{Stm, ThreadStats, TxCtx};
+use crate::structures::TStack;
+
+/// Outcome of one throughput measurement.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Throughput {
+    pub threads: usize,
+    pub ops: u64,
+    pub wall_ns: u64,
+    pub aborts: u64,
+}
+
+impl Throughput {
+    pub fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 / (self.wall_ns as f64 / 1e9)
+    }
+}
+
+/// Hammer a shared transactional stack (alternating push/pop) from
+/// `threads` threads for `dur`, under the given policy.
+pub fn stack_throughput<P: GracePolicy + Clone>(
+    policy: P,
+    threads: usize,
+    dur: Duration,
+    seed: u64,
+) -> Throughput {
+    let cap = 1 << 16;
+    let stm = Arc::new(Stm::new(TStack::words(cap), threads));
+    let st = TStack::new(0, cap);
+    let stop = Arc::new(AtomicBool::new(false));
+    let start = Instant::now();
+    let mut totals: Vec<ThreadStats> = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|id| {
+                let stm = Arc::clone(&stm);
+                let stop = Arc::clone(&stop);
+                let policy = policy.clone();
+                s.spawn(move || {
+                    let mut t = TxCtx::new(
+                        &stm,
+                        id,
+                        policy,
+                        Box::new(Xoshiro256StarStar::new(seed ^ (id as u64 + 1))),
+                    );
+                    let mut i = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        if i.is_multiple_of(2) {
+                            t.run(|tx| st.push(tx, i));
+                        } else {
+                            t.run(|tx| st.pop(tx));
+                        }
+                        i += 1;
+                    }
+                    t.stats
+                })
+            })
+            .collect();
+        std::thread::sleep(dur);
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            totals.push(h.join().expect("worker panicked"));
+        }
+    });
+    let wall_ns = start.elapsed().as_nanos() as u64;
+    Throughput {
+        threads,
+        ops: totals.iter().map(|t| t.commits).sum(),
+        wall_ns,
+        aborts: totals.iter().map(|t| t.aborts).sum(),
+    }
+}
+
+/// Hammer the 64-object transactional application (acquire and modify two
+/// random objects per transaction).
+pub fn txapp_throughput<P: GracePolicy + Clone>(
+    policy: P,
+    threads: usize,
+    objects: u64,
+    dur: Duration,
+    seed: u64,
+) -> Throughput {
+    let stm = Arc::new(Stm::new(objects as usize, threads));
+    let stop = Arc::new(AtomicBool::new(false));
+    let start = Instant::now();
+    let mut totals: Vec<ThreadStats> = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|id| {
+                let stm = Arc::clone(&stm);
+                let stop = Arc::clone(&stop);
+                let policy = policy.clone();
+                s.spawn(move || {
+                    let mut pick = Xoshiro256StarStar::new(seed ^ (id as u64 + 0x100));
+                    let mut t = TxCtx::new(
+                        &stm,
+                        id,
+                        policy,
+                        Box::new(Xoshiro256StarStar::new(seed ^ (id as u64 + 1))),
+                    );
+                    while !stop.load(Ordering::Relaxed) {
+                        let a = uniform_u64_below(&mut pick, objects) as usize;
+                        let mut b = uniform_u64_below(&mut pick, objects - 1) as usize;
+                        if b >= a {
+                            b += 1;
+                        }
+                        t.run(|tx| {
+                            let x = tx.read(a)?;
+                            let y = tx.read(b)?;
+                            tx.write(a, x + 1)?;
+                            tx.write(b, y + 1)
+                        });
+                    }
+                    t.stats
+                })
+            })
+            .collect();
+        std::thread::sleep(dur);
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            totals.push(h.join().expect("worker panicked"));
+        }
+    });
+    let wall_ns = start.elapsed().as_nanos() as u64;
+    Throughput {
+        threads,
+        ops: totals.iter().map(|t| t.commits).sum(),
+        wall_ns,
+        aborts: totals.iter().map(|t| t.aborts).sum(),
+    }
+}
+
+/// Baseline: the lock-free Treiber stack under the same alternating
+/// push/pop workload (no transactions, no policies) — the slow path the
+/// paper's benchmarks fall back to.
+pub fn lockfree_stack_throughput(threads: usize, dur: Duration) -> Throughput {
+    let stack = Arc::new(crate::lockfree::TreiberStack::new());
+    let stop = Arc::new(AtomicBool::new(false));
+    let start = Instant::now();
+    let mut ops_total = 0u64;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let stack = Arc::clone(&stack);
+                let stop = Arc::clone(&stop);
+                s.spawn(move || {
+                    let mut i = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        if i.is_multiple_of(2) {
+                            stack.push(i);
+                        } else {
+                            let _ = stack.pop();
+                        }
+                        i += 1;
+                    }
+                    i
+                })
+            })
+            .collect();
+        std::thread::sleep(dur);
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            ops_total += h.join().expect("worker panicked");
+        }
+    });
+    Throughput {
+        threads,
+        ops: ops_total,
+        wall_ns: start.elapsed().as_nanos() as u64,
+        aborts: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcp_core::policy::NoDelay;
+    use tcp_core::randomized::RandRa;
+
+    #[test]
+    fn stack_throughput_measures_commits() {
+        let r = stack_throughput(RandRa, 2, Duration::from_millis(100), 1);
+        assert!(r.ops > 100, "ops {}", r.ops);
+        assert!(r.wall_ns >= 100_000_000);
+    }
+
+    #[test]
+    fn lockfree_baseline_outpaces_stm_single_thread() {
+        // No instrumentation, no read/write sets: the lock-free stack must
+        // beat the STM stack at one thread.
+        let lf = lockfree_stack_throughput(1, Duration::from_millis(80));
+        let stm = stack_throughput(RandRa, 1, Duration::from_millis(80), 3);
+        assert!(
+            lf.ops_per_sec() > stm.ops_per_sec(),
+            "lock-free {} vs stm {}",
+            lf.ops_per_sec(),
+            stm.ops_per_sec()
+        );
+    }
+
+    #[test]
+    fn txapp_throughput_runs_all_thread_counts() {
+        for threads in [1usize, 3] {
+            let r = txapp_throughput(
+                NoDelay::requestor_aborts(),
+                threads,
+                64,
+                Duration::from_millis(60),
+                2,
+            );
+            assert!(r.ops > 0);
+            assert_eq!(r.threads, threads);
+        }
+    }
+}

@@ -1,0 +1,384 @@
+//! Transaction-length distributions used in the paper's synthetic
+//! experiments (§8.1): Geometric, Normal, Uniform, Exponential, Poisson.
+//!
+//! The offline crate set does not include `rand_distr`, so the samplers are
+//! implemented from first principles: inverse-CDF for geometric and
+//! exponential, Box–Muller for normal, and Knuth's product method (with a
+//! normal approximation for large means) for Poisson. Each distribution is
+//! parameterized by its mean `µ`, matching how the paper sweeps them.
+
+use rand::RngCore;
+use tcp_core::rng::uniform01;
+
+/// A distribution over positive transaction lengths with known mean.
+pub trait LengthDist: Send + Sync {
+    /// Draw a length (always ≥ `1e-9`; lengths are durations).
+    fn sample(&self, rng: &mut dyn RngCore) -> f64;
+
+    /// The analytic mean `µ`.
+    fn mean(&self) -> f64;
+
+    fn name(&self) -> &'static str;
+}
+
+/// Geometric distribution on `{1, 2, ...}` with mean `µ = 1/p`.
+#[derive(Clone, Copy, Debug)]
+pub struct Geometric {
+    p: f64,
+}
+
+impl Geometric {
+    /// Geometric with the given mean (`µ ≥ 1`).
+    pub fn with_mean(mu: f64) -> Self {
+        assert!(mu >= 1.0);
+        Self { p: 1.0 / mu }
+    }
+}
+
+impl LengthDist for Geometric {
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        // Inverse CDF: ceil(ln(1-u)/ln(1-p)).
+        let u = uniform01(rng);
+        let x = ((1.0 - u).ln() / (1.0 - self.p).ln()).ceil();
+        x.max(1.0)
+    }
+    fn mean(&self) -> f64 {
+        1.0 / self.p
+    }
+    fn name(&self) -> &'static str {
+        "geometric"
+    }
+}
+
+/// Normal distribution truncated to positive values, with nominal mean `µ`
+/// and standard deviation `σ` (the truncation bias is negligible for
+/// `µ ≫ σ`, the paper's regime of `µ = 500`).
+#[derive(Clone, Copy, Debug)]
+pub struct Normal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl Normal {
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(mu > 0.0 && sigma > 0.0);
+        Self { mu, sigma }
+    }
+
+    /// The paper's convention: σ = µ/5 keeps the mass comfortably positive.
+    pub fn with_mean(mu: f64) -> Self {
+        Self::new(mu, mu / 5.0)
+    }
+}
+
+impl LengthDist for Normal {
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        // Box–Muller; reject non-positive draws (prob ≈ Φ(−5) ≈ 3e−7 at σ=µ/5).
+        loop {
+            let u1 = uniform01(rng).max(f64::MIN_POSITIVE);
+            let u2 = uniform01(rng);
+            let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            let x = self.mu + self.sigma * z;
+            if x > 0.0 {
+                return x;
+            }
+        }
+    }
+    fn mean(&self) -> f64 {
+        self.mu
+    }
+    fn name(&self) -> &'static str {
+        "normal"
+    }
+}
+
+/// Uniform distribution on `[0, 2µ]` (mean `µ`).
+#[derive(Clone, Copy, Debug)]
+pub struct Uniform {
+    mu: f64,
+}
+
+impl Uniform {
+    pub fn with_mean(mu: f64) -> Self {
+        assert!(mu > 0.0);
+        Self { mu }
+    }
+}
+
+impl LengthDist for Uniform {
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        (2.0 * self.mu * uniform01(rng)).max(1e-9)
+    }
+    fn mean(&self) -> f64 {
+        self.mu
+    }
+    fn name(&self) -> &'static str {
+        "uniform"
+    }
+}
+
+/// Exponential distribution with mean `µ`.
+#[derive(Clone, Copy, Debug)]
+pub struct Exponential {
+    mu: f64,
+}
+
+impl Exponential {
+    pub fn with_mean(mu: f64) -> Self {
+        assert!(mu > 0.0);
+        Self { mu }
+    }
+}
+
+impl LengthDist for Exponential {
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        let u = uniform01(rng);
+        (-self.mu * (1.0 - u).ln()).max(1e-9)
+    }
+    fn mean(&self) -> f64 {
+        self.mu
+    }
+    fn name(&self) -> &'static str {
+        "exponential"
+    }
+}
+
+/// Poisson distribution with mean `λ = µ`.
+///
+/// Knuth's product method for `λ ≤ 30`; for larger `λ` a rounded normal
+/// approximation `N(λ, λ)` (error `O(λ^{−1/2})`, fine for `µ = 500`).
+#[derive(Clone, Copy, Debug)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    pub fn with_mean(mu: f64) -> Self {
+        assert!(mu > 0.0);
+        Self { lambda: mu }
+    }
+}
+
+impl LengthDist for Poisson {
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        if self.lambda <= 30.0 {
+            let l = (-self.lambda).exp();
+            let mut k = 0u64;
+            let mut p = 1.0;
+            loop {
+                p *= uniform01(rng);
+                if p <= l {
+                    return (k as f64).max(1e-9);
+                }
+                k += 1;
+            }
+        } else {
+            loop {
+                let u1 = uniform01(rng).max(f64::MIN_POSITIVE);
+                let u2 = uniform01(rng);
+                let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                let x = (self.lambda + self.lambda.sqrt() * z).round();
+                if x >= 0.0 {
+                    return x.max(1e-9);
+                }
+            }
+        }
+    }
+    fn mean(&self) -> f64 {
+        self.lambda
+    }
+    fn name(&self) -> &'static str {
+        "poisson"
+    }
+}
+
+/// Bimodal mixture: length `short` with probability `1 − p_long`, `long`
+/// otherwise — the paper's bimodal transactional application (§8.2).
+#[derive(Clone, Copy, Debug)]
+pub struct Bimodal {
+    pub short: f64,
+    pub long: f64,
+    pub p_long: f64,
+}
+
+impl Bimodal {
+    pub fn new(short: f64, long: f64, p_long: f64) -> Self {
+        assert!(short > 0.0 && long >= short && (0.0..=1.0).contains(&p_long));
+        Self {
+            short,
+            long,
+            p_long,
+        }
+    }
+}
+
+impl LengthDist for Bimodal {
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        if uniform01(rng) < self.p_long {
+            self.long
+        } else {
+            self.short
+        }
+    }
+    fn mean(&self) -> f64 {
+        self.p_long * self.long + (1.0 - self.p_long) * self.short
+    }
+    fn name(&self) -> &'static str {
+        "bimodal"
+    }
+}
+
+/// Zipf distribution over `{0, …, n−1}` with exponent `s` (rank 0 is the
+/// hottest). Used by the skewed-contention ablation workloads; sampled by
+/// inverse CDF over a precomputed table.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0 && s >= 0.0);
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Draw a rank in `{0, …, n−1}`.
+    pub fn sample(&self, rng: &mut dyn RngCore) -> usize {
+        let u = uniform01(rng);
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Probability mass of rank `k`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+}
+
+/// The five distributions of Figure 2, all with mean `µ`.
+pub fn figure2_distributions(mu: f64) -> Vec<Box<dyn LengthDist>> {
+    vec![
+        Box::new(Geometric::with_mean(mu)),
+        Box::new(Normal::with_mean(mu)),
+        Box::new(Uniform::with_mean(mu)),
+        Box::new(Exponential::with_mean(mu)),
+        Box::new(Poisson::with_mean(mu)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcp_core::rng::Xoshiro256StarStar;
+
+    fn empirical_mean(d: &dyn LengthDist, n: usize, seed: u64) -> f64 {
+        let mut rng = Xoshiro256StarStar::new(seed);
+        (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn all_means_match_within_2_percent() {
+        let mu = 500.0;
+        for (i, d) in figure2_distributions(mu).iter().enumerate() {
+            let m = empirical_mean(d.as_ref(), 100_000, 31 + i as u64);
+            assert!(
+                (m - mu).abs() / mu < 0.02,
+                "{}: empirical mean {m} vs {mu}",
+                d.name()
+            );
+        }
+    }
+
+    #[test]
+    fn samples_are_positive() {
+        for (i, d) in figure2_distributions(50.0).iter().enumerate() {
+            let mut rng = Xoshiro256StarStar::new(77 + i as u64);
+            for _ in 0..10_000 {
+                assert!(d.sample(&mut rng) > 0.0, "{}", d.name());
+            }
+        }
+    }
+
+    #[test]
+    fn geometric_is_integral_and_at_least_one() {
+        let d = Geometric::with_mean(4.0);
+        let mut rng = Xoshiro256StarStar::new(2);
+        for _ in 0..5000 {
+            let x = d.sample(&mut rng);
+            assert!(x >= 1.0);
+            assert_eq!(x, x.round());
+        }
+    }
+
+    #[test]
+    fn poisson_small_lambda_variance_matches() {
+        let d = Poisson::with_mean(5.0);
+        let mut rng = Xoshiro256StarStar::new(3);
+        let n = 100_000;
+        let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 5.0).abs() < 0.2, "variance {var}");
+    }
+
+    #[test]
+    fn normal_sigma_respected() {
+        let d = Normal::new(100.0, 10.0);
+        let mut rng = Xoshiro256StarStar::new(4);
+        let n = 100_000;
+        let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 100.0).abs() < 0.5);
+        assert!((var.sqrt() - 10.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn zipf_masses_and_sampling() {
+        let z = Zipf::new(8, 1.0);
+        // Masses sum to 1 and decrease with rank.
+        let total: f64 = (0..8).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        for k in 1..8 {
+            assert!(z.pmf(k) < z.pmf(k - 1));
+        }
+        // Empirical frequency of rank 0 matches its mass.
+        let mut rng = Xoshiro256StarStar::new(10);
+        let n = 100_000;
+        let zeros = (0..n).filter(|_| z.sample(&mut rng) == 0).count() as f64 / n as f64;
+        assert!((zeros - z.pmf(0)).abs() < 0.01, "{zeros} vs {}", z.pmf(0));
+    }
+
+    #[test]
+    fn zipf_s0_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for k in 0..10 {
+            assert!((z.pmf(k) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bimodal_mixture_weights() {
+        let d = Bimodal::new(10.0, 1000.0, 0.25);
+        let mut rng = Xoshiro256StarStar::new(5);
+        let n = 100_000;
+        let longs = (0..n).filter(|_| d.sample(&mut rng) == 1000.0).count();
+        let frac = longs as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.01);
+        assert!((d.mean() - (0.25 * 1000.0 + 0.75 * 10.0)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,31 @@
+//! # tcp-workloads — distributions, the §8.1 synthetic testbed, and the
+//! Figure 3 transaction programs
+//!
+//! Three building blocks consumed by the rest of the workspace:
+//!
+//! * [`dist`] — the five transaction-length distributions of Figure 2
+//!   (geometric, normal, uniform, exponential, Poisson), implemented from
+//!   scratch on top of `rand`, plus the bimodal mixture of §8.2;
+//! * [`synthetic`] — the §8.1 conflict-cost testbed: draw a length, pick a
+//!   uniform interrupt point, let a policy choose the grace period, charge
+//!   the conflict cost (regenerates Figures 2a–2c);
+//! * [`programs`] — straight-line transaction bodies for the HTM simulator:
+//!   stack, queue, uniform transactional application, bimodal application.
+
+pub mod dist;
+pub mod programs;
+pub mod synthetic;
+
+pub mod prelude {
+    pub use crate::dist::{
+        figure2_distributions, Bimodal, Exponential, Geometric, LengthDist, Normal, Poisson,
+        Uniform, Zipf,
+    };
+    pub use crate::programs::{
+        BimodalWorkload, FixedProgramsWorkload, ListWorkload, Op, QueueWorkload,
+        SkewedTxAppWorkload, StackWorkload, TxAppWorkload, TxnProgram, WorkloadGen,
+    };
+    pub use crate::synthetic::{
+        det_worst_case_remaining, run_synthetic, RemainingTime, SyntheticConfig, SyntheticReport,
+    };
+}

@@ -1,0 +1,107 @@
+//! Quickstart: the transactional conflict problem in five minutes.
+//!
+//! A conflict between two transactions arrives; the system must decide how
+//! long to delay the abort. This example walks through the cost model, the
+//! optimal strategies, and what they buy you.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use transactional_conflict::prelude::*;
+
+fn main() {
+    let mut rng = Xoshiro256StarStar::new(2018);
+
+    // --- The decision ------------------------------------------------------
+    // Transaction T1 (the receiver) has been running for a while; aborting
+    // it costs B = 2000 cycles (work discarded + cleanup). Transaction T2
+    // (the requestor) wants one of T1's cache lines. k = 2 transactions are
+    // involved.
+    let conflict = Conflict::pair(2000.0);
+
+    // T1's remaining execution time D is *unknown* to the system. Say the
+    // ground truth is 500 cycles:
+    let d = 500.0;
+
+    // Option 1: abort immediately (what production HTM does).
+    let no_delay = NoDelay::requestor_wins();
+    let x = no_delay.grace(&conflict, &mut rng);
+    println!(
+        "NO_DELAY   grace = {x:7.1}  cost = {:7.1}",
+        rw_cost(&conflict, d, x)
+    );
+
+    // Option 2: the optimal deterministic strategy (Theorem 4) waits
+    // exactly B/(k-1) cycles — T1 commits, costing only the delay D.
+    let det = DetRw;
+    let x = det.grace(&conflict, &mut rng);
+    println!(
+        "DET        grace = {x:7.1}  cost = {:7.1}",
+        rw_cost(&conflict, d, x)
+    );
+
+    // Option 3: the optimal randomized strategy (Theorem 5) draws the grace
+    // uniformly from [0, B] and is 2-competitive in expectation.
+    let mut total = 0.0;
+    let trials = 100_000;
+    for _ in 0..trials {
+        let x = RandRw.grace(&conflict, &mut rng);
+        total += rw_cost(&conflict, d, x);
+    }
+    println!(
+        "RRW        E[cost] = {:7.1}  (OPT = {})",
+        total / trials as f64,
+        rw_opt(&conflict, d)
+    );
+
+    // --- Guarantees ---------------------------------------------------------
+    println!("\ncompetitive ratios at k = 2:");
+    println!("  DET  (requestor wins):  {}", det_rw_ratio(2));
+    println!("  RRW  (requestor wins):  {}", rand_rw_ratio(2));
+    println!(
+        "  RRA  (requestor aborts): {:.4}  (= e/(e-1))",
+        rand_ra_ratio(2)
+    );
+
+    // Knowing the mean transaction length µ improves the guarantee when
+    // µ/B is small (Theorem 5):
+    let (b, mu) = (2000.0, 500.0);
+    println!(
+        "  RRW(mu): {:.4}, RRA(mu): {:.4}  (µ/B = {})",
+        rand_rw_mean_ratio(2, b, mu),
+        rand_ra_mean_ratio(2, b, mu),
+        mu / b
+    );
+
+    // --- A thousand conflicts ------------------------------------------------
+    // The §8.1 synthetic testbed: exponential transaction lengths, uniform
+    // interrupt points, 50k conflicts per strategy.
+    let cfg = SyntheticConfig {
+        abort_cost: b,
+        chain: 2,
+        trials: 50_000,
+        seed: 7,
+    };
+    let lengths = Exponential::with_mean(mu);
+    let remaining = RemainingTime::FromLengths(&lengths);
+    println!(
+        "\nmean conflict cost over {} synthetic conflicts:",
+        cfg.trials
+    );
+    for policy in [
+        Box::new(NoDelay::requestor_wins()) as Box<dyn GracePolicy>,
+        Box::new(DetRw),
+        Box::new(RandRw),
+        Box::new(RandRwMean::new(mu)),
+        Box::new(RandRa),
+        Box::new(RandRaMean::new(mu)),
+    ] {
+        let r = run_synthetic(&cfg, &remaining, policy.as_ref());
+        println!(
+            "  {:10}  cost = {:7.1}  (ratio to OPT: {:.3}, abort rate {:.2})",
+            policy.name(),
+            r.mean_cost,
+            r.ratio,
+            r.abort_rate
+        );
+    }
+}

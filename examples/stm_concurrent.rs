@@ -1,0 +1,79 @@
+//! The policies on real threads: a TL2-style STM runs a contended counter,
+//! a transactional stack, and the 64-object application, under the
+//! requestor-aborts and requestor-wins conflict managers.
+//!
+//! Run with: `cargo run --release --example stm_concurrent`
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use transactional_conflict::prelude::*;
+
+fn main() {
+    // --- Exactness under contention -----------------------------------------
+    // 8 threads × 5000 increments of one shared counter: the total must be
+    // exact regardless of policy — the policies change *performance*, never
+    // atomicity.
+    let threads = 8;
+    let per = 5_000u64;
+    for (label, mode) in [
+        ("requestor-aborts", ResolutionMode::RequestorAborts),
+        ("requestor-wins", ResolutionMode::RequestorWins),
+    ] {
+        let stm = Arc::new(Stm::with_mode(4, threads, mode));
+        let aborts = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for id in 0..threads {
+                let stm = Arc::clone(&stm);
+                let aborts = Arc::clone(&aborts);
+                s.spawn(move || {
+                    let mut ctx = TxCtx::new(
+                        &stm,
+                        id,
+                        RandRa,
+                        Box::new(Xoshiro256StarStar::new(id as u64 + 1)),
+                    );
+                    for _ in 0..per {
+                        ctx.run(|tx| {
+                            let v = tx.read(0)?;
+                            tx.write(0, v + 1)
+                        });
+                    }
+                    aborts.fetch_add(ctx.stats.aborts, Ordering::Relaxed);
+                });
+            }
+        });
+        let total = stm.read_direct(0);
+        assert_eq!(total, threads as u64 * per);
+        println!(
+            "{label:17} counter = {total} (exact), aborts = {}",
+            aborts.load(Ordering::Relaxed)
+        );
+    }
+
+    // --- Throughput under each policy ----------------------------------------
+    println!("\nstack throughput (4 threads, 300ms wall clock):");
+    let dur = Duration::from_millis(300);
+    let nd = stack_throughput(NoDelay::requestor_aborts(), 4, dur, 1);
+    let ra = stack_throughput(RandRa, 4, dur, 2);
+    let rw = stack_throughput(RandRw, 4, dur, 3);
+    for (name, r) in [("NO_DELAY", nd), ("RRA", ra), ("RRW", rw)] {
+        println!(
+            "  {name:9} {:>10.3e} ops/s   {:.2} aborts/op",
+            r.ops_per_sec(),
+            r.aborts as f64 / r.ops.max(1) as f64
+        );
+    }
+
+    println!("\ntransactional application, 2 of 64 objects (4 threads):");
+    let nd = txapp_throughput(NoDelay::requestor_aborts(), 4, 64, dur, 4);
+    let ra = txapp_throughput(RandRa, 4, 64, dur, 5);
+    for (name, r) in [("NO_DELAY", nd), ("RRA", ra)] {
+        println!(
+            "  {name:9} {:>10.3e} ops/s   {:.2} aborts/op",
+            r.ops_per_sec(),
+            r.aborts as f64 / r.ops.max(1) as f64
+        );
+    }
+}

@@ -1,0 +1,129 @@
+//! Failure-injection tests: hostile policies and degenerate workloads must
+//! never hang, crash, or corrupt the simulator's coherence state.
+
+use std::sync::Arc;
+
+use rand::RngCore;
+use transactional_conflict::prelude::*;
+
+/// A policy that returns whatever pathological value it was built with.
+#[derive(Clone, Copy, Debug)]
+struct MaliciousPolicy(f64);
+
+impl GracePolicy for MaliciousPolicy {
+    fn mode(&self, _c: &Conflict) -> ResolutionMode {
+        ResolutionMode::RequestorWins
+    }
+    fn grace(&self, _c: &Conflict, _rng: &mut dyn RngCore) -> f64 {
+        self.0
+    }
+    fn name(&self) -> String {
+        format!("MALICIOUS({})", self.0)
+    }
+}
+
+fn run_sim(policy: Arc<dyn GracePolicy>, programs: Vec<TxnProgram>, cores: usize) -> SimStats {
+    let mut cfg = SimConfig::new(cores, policy);
+    cfg.horizon = 100_000;
+    let mut sim = Simulator::new(cfg, Arc::new(FixedProgramsWorkload::new(programs)));
+    sim.run();
+    sim.check_coherence().expect("coherence violated");
+    sim.stats.clone()
+}
+
+fn hot_program() -> TxnProgram {
+    TxnProgram {
+        ops: vec![Op::Compute(10), Op::Write(0), Op::Compute(30)],
+    }
+}
+
+#[test]
+fn nan_grace_degrades_to_no_delay() {
+    let s = run_sim(Arc::new(MaliciousPolicy(f64::NAN)), vec![hot_program()], 6);
+    assert!(s.commits() > 100, "NaN policy must not stall the machine");
+}
+
+#[test]
+fn infinite_grace_is_clamped() {
+    let s = run_sim(
+        Arc::new(MaliciousPolicy(f64::INFINITY)),
+        vec![hot_program()],
+        6,
+    );
+    assert!(s.commits() > 100, "infinite grace must be bounded");
+}
+
+#[test]
+fn negative_grace_is_clamped_to_zero() {
+    let s = run_sim(Arc::new(MaliciousPolicy(-1e9)), vec![hot_program()], 6);
+    assert!(s.commits() > 100);
+}
+
+#[test]
+fn huge_but_finite_grace_is_capped() {
+    let s = run_sim(Arc::new(MaliciousPolicy(1e300)), vec![hot_program()], 6);
+    assert!(s.commits() > 100);
+}
+
+#[test]
+fn empty_transaction_bodies_commit_trivially() {
+    let s = run_sim(
+        Arc::new(RandRw),
+        vec![TxnProgram { ops: vec![] }],
+        2,
+    );
+    assert!(s.commits() > 10_000, "empty bodies commit every other cycle");
+    assert_eq!(s.aborts(), 0);
+}
+
+#[test]
+fn zero_cycle_compute_makes_progress() {
+    let s = run_sim(
+        Arc::new(RandRw),
+        vec![TxnProgram { ops: vec![Op::Compute(0), Op::Compute(0)] }],
+        2,
+    );
+    assert!(s.commits() > 1000);
+}
+
+#[test]
+fn max_core_count_with_single_hot_line() {
+    let s = run_sim(Arc::new(DetRw), vec![hot_program()], 64);
+    assert!(s.commits() > 100, "64 cores on one line must still pipeline");
+}
+
+#[test]
+fn write_only_same_line_every_op() {
+    // Every op in every transaction hits the same line.
+    let p = TxnProgram {
+        ops: vec![Op::Write(7), Op::Write(7), Op::Write(7)],
+    };
+    let s = run_sim(Arc::new(RandRw), vec![p], 8);
+    assert!(s.commits() > 100);
+}
+
+#[test]
+fn stm_survives_malicious_policy() {
+    // The STM treats a NaN grace as an already-expired deadline.
+    let stm = Stm::new(4, 4);
+    std::thread::scope(|s| {
+        for id in 0..4usize {
+            let stm = &stm;
+            s.spawn(move || {
+                let mut t = TxCtx::new(
+                    stm,
+                    id,
+                    MaliciousPolicy(f64::NAN),
+                    Box::new(Xoshiro256StarStar::new(id as u64)),
+                );
+                for _ in 0..2_000 {
+                    t.run(|tx| {
+                        let v = tx.read(0)?;
+                        tx.write(0, v + 1)
+                    });
+                }
+            });
+        }
+    });
+    assert_eq!(stm.read_direct(0), 8_000);
+}

@@ -1,0 +1,249 @@
+//! Property-based tests (proptest) on the public API: invariants that must
+//! hold for arbitrary parameters, not just the benchmarked ones.
+
+use proptest::prelude::*;
+use transactional_conflict::prelude::*;
+
+fn conflicts() -> impl Strategy<Value = Conflict> {
+    (1.0f64..1e6, 2usize..12).prop_map(|(b, k)| Conflict::chain(b, k))
+}
+
+proptest! {
+    /// Every policy's grace period lies in [0, B/(k-1)] — the support the
+    /// theory prescribes (waiting longer than B/(k-1) is dominated).
+    #[test]
+    fn grace_periods_stay_in_support(c in conflicts(), seed in 0u64..1000) {
+        let mut rng = Xoshiro256StarStar::new(seed);
+        let hi = c.abort_cost / c.waiters() + 1e-9;
+        for p in [
+            Box::new(RandRw) as Box<dyn GracePolicy>,
+            Box::new(RandRwUniform),
+            Box::new(RandRa),
+            Box::new(DetRw),
+        ] {
+            let x = p.grace(&c, &mut rng);
+            prop_assert!((0.0..=hi).contains(&x), "{}: {x} outside [0, {hi}]", p.name());
+        }
+        // DetRa waits B (its own support).
+        let x = DetRa.grace(&c, &mut rng);
+        prop_assert!(x == c.abort_cost);
+    }
+
+    /// Mean-aware strategies also respect the support, for any µ.
+    #[test]
+    fn mean_policies_stay_in_support(
+        c in conflicts(),
+        mu in 0.001f64..1e6,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = Xoshiro256StarStar::new(seed);
+        let hi = c.abort_cost / c.waiters() + 1e-9;
+        let x = RandRwMean::new(mu).grace(&c, &mut rng);
+        prop_assert!((0.0..=hi).contains(&x));
+        let x = RandRaMean::new(mu).grace(&c, &mut rng);
+        prop_assert!((0.0..=hi).contains(&x));
+    }
+
+    /// Online cost never beats the offline optimum, in either mode.
+    #[test]
+    fn cost_dominates_opt(c in conflicts(), d in 1e-6f64..1e7, x in 0f64..1e7) {
+        prop_assert!(rw_cost(&c, d, x) >= rw_opt(&c, d) - 1e-9);
+        prop_assert!(ra_cost(&c, d, x) >= ra_opt(&c, d) - 1e-9);
+    }
+
+    /// The cost model is monotone in the grace period on the abort branch:
+    /// waiting longer before an abort only adds cost.
+    #[test]
+    fn abort_branch_cost_monotone(c in conflicts(), d in 1.0f64..1e6, dx in 0.0f64..0.5) {
+        let x1 = d * (1.0 - dx) * 0.9;
+        let x2 = x1 * 0.5;
+        // both x1, x2 < d: abort branch
+        prop_assert!(rw_cost(&c, d, x2) <= rw_cost(&c, d, x1) + 1e-9);
+        prop_assert!(ra_cost(&c, d, x2) <= ra_cost(&c, d, x1) + 1e-9);
+    }
+
+    /// Every PDF in the family integrates to 1 and has non-negative density
+    /// over its support, for arbitrary B and k.
+    #[test]
+    fn pdfs_are_distributions(b in 1.0f64..1e5, k in 2usize..10) {
+        let pdfs: Vec<Box<dyn GracePdf>> = {
+            let mut v: Vec<Box<dyn GracePdf>> = vec![
+                Box::new(RwUnconstrainedPdf::new(b, k)),
+                Box::new(RwUniformPdf::new(b, k)),
+                Box::new(RaUnconstrainedPdf::new(b, k)),
+                Box::new(RaMeanPdf::new(b, k)),
+            ];
+            if k == 2 {
+                v.push(Box::new(RwMeanK2Pdf::new(b)));
+            } else {
+                v.push(Box::new(RwMeanChainPdf::new(b, k)));
+            }
+            v
+        };
+        for p in pdfs {
+            let mass = p.total_mass();
+            prop_assert!((mass - 1.0).abs() < 1e-3, "mass {mass}");
+            for i in 0..=20 {
+                let x = p.hi() * i as f64 / 20.0;
+                prop_assert!(p.density(x) >= -1e-9);
+            }
+            // CDF endpoints.
+            prop_assert!(p.cdf(0.0).abs() < 1e-6);
+            prop_assert!((p.cdf(p.hi()) - 1.0).abs() < 1e-3);
+        }
+    }
+
+    /// Quantile inverts the CDF for the closed-form strategies.
+    #[test]
+    fn quantile_inverts_cdf(b in 1.0f64..1e5, k in 2usize..10, u in 0.0f64..=1.0) {
+        let p = RwUnconstrainedPdf::new(b, k);
+        prop_assert!((p.cdf(p.quantile(u)) - u).abs() < 1e-6);
+        let q = RaUnconstrainedPdf::new(b, k);
+        prop_assert!((q.cdf(q.quantile(u)) - u).abs() < 1e-6);
+    }
+
+    /// Backoff inflation is monotone and resets cleanly.
+    #[test]
+    fn backoff_monotone(b in 1.0f64..1e6, bumps in 0u32..40) {
+        let mut s = BackoffState::default();
+        let mut prev = s.effective_cost(b);
+        for _ in 0..bumps {
+            s.bump();
+            let now = s.effective_cost(b);
+            prop_assert!(now >= prev);
+            prev = now;
+        }
+        s.reset();
+        prop_assert!((s.effective_cost(b) - b).abs() < 1e-12);
+    }
+
+    /// Competitive-ratio formulas: sane ranges everywhere.
+    #[test]
+    fn ratio_formulas_in_range(k in 2usize..64, b in 1.0f64..1e6, mu in 0.001f64..1e6) {
+        let e = std::f64::consts::E;
+        prop_assert!(rand_rw_ratio(k) >= e / (e - 1.0) - 1e-9);
+        prop_assert!(rand_rw_ratio(k) <= 2.0 + 1e-9);
+        prop_assert!(rand_ra_ratio(k) >= e / (e - 1.0) - 1e-9);
+        prop_assert!(det_rw_ratio(k) > 2.0 && det_rw_ratio(k) <= 3.0);
+        prop_assert!(rand_rw_mean_ratio(k, b, mu) >= 1.0);
+        prop_assert!(rand_ra_mean_ratio(k, b, mu) >= 1.0);
+        // Corollary 1's bound is always in [1, 2).
+        let w = mu / b;
+        let bound = corollary1_bound(w);
+        prop_assert!((1.0..2.0).contains(&bound));
+    }
+
+    /// The ski-rental mapping is exact for arbitrary parameters (§4.2).
+    #[test]
+    fn ski_rental_mapping_exact(b in 1.0f64..1e5, d in 0.001f64..1e6, x in 0.0f64..1e6) {
+        let c = Conflict::pair(b);
+        let s = from_conflict(&c);
+        let lhs = s.cost_continuous(d, x);
+        let rhs = ra_cost(&c, d, x);
+        // The two differ only on the measure-zero boundary d == x.
+        if (d - x).abs() > 1e-9 {
+            prop_assert!((lhs - rhs).abs() < 1e-9);
+        }
+    }
+
+    /// Distribution sampling stays positive and near its nominal mean.
+    #[test]
+    fn distributions_sane(mu in 2.0f64..2000.0, seed in 0u64..100) {
+        let mut rng = Xoshiro256StarStar::new(seed);
+        for d in figure2_distributions(mu) {
+            for _ in 0..50 {
+                let x = d.sample(&mut rng);
+                prop_assert!(x > 0.0, "{}", d.name());
+            }
+            prop_assert!((d.mean() - mu).abs() < 1e-9);
+        }
+    }
+}
+
+mod sim_properties {
+    //! Property tests of the HTM simulator itself: random transaction
+    //! programs over a small shared address space must never violate
+    //! coherence, always make progress under a delay policy, and stay
+    //! deterministic.
+
+    use super::*;
+
+    use std::sync::Arc;
+
+    fn arb_op() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (0u64..12).prop_map(Op::Read),
+            (0u64..12).prop_map(Op::Write),
+            (0u32..40).prop_map(Op::Compute),
+        ]
+    }
+
+    fn arb_program() -> impl Strategy<Value = TxnProgram> {
+        prop::collection::vec(arb_op(), 1..12).prop_map(|ops| TxnProgram { ops })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn random_programs_preserve_coherence_and_progress(
+            programs in prop::collection::vec(arb_program(), 1..6),
+            cores in 2usize..8,
+            seed in 0u64..1000,
+        ) {
+            let w = Arc::new(FixedProgramsWorkload::new(programs));
+            let mut cfg = SimConfig::new(cores, Arc::new(RandRw));
+            cfg.horizon = 60_000;
+            cfg.seed = seed;
+            let mut sim = Simulator::new(cfg, w);
+            sim.run();
+            prop_assert!(sim.check_coherence().is_ok(), "{:?}", sim.check_coherence());
+            prop_assert!(sim.stats.commits() > 0, "no progress: {:?}", sim.stats.aborts());
+        }
+
+        #[test]
+        fn random_programs_deterministic(
+            programs in prop::collection::vec(arb_program(), 1..4),
+            seed in 0u64..100,
+        ) {
+            let run = || {
+                let w = Arc::new(FixedProgramsWorkload::new(programs.clone()));
+                let mut cfg = SimConfig::new(4, Arc::new(RandRa));
+                cfg.mode = ResolutionMode::RequestorAborts;
+                cfg.horizon = 30_000;
+                cfg.seed = seed;
+                let mut sim = Simulator::new(cfg, w);
+                sim.run();
+                (sim.stats.commits(), sim.stats.aborts(), sim.stats.conflicts)
+            };
+            prop_assert_eq!(run(), run());
+        }
+    }
+}
+
+/// Sequential model check of the STM stack against `Vec` (not proptest-
+/// randomized input, but a long deterministic mixed workload).
+#[test]
+fn stm_stack_matches_vec_model() {
+    let stm = Stm::new(TStack::words(64), 1);
+    let st = TStack::new(0, 64);
+    let mut ctx = TxCtx::new(
+        &stm,
+        0,
+        NoDelay::requestor_aborts(),
+        Box::new(Xoshiro256StarStar::new(8)),
+    );
+    let mut model: Vec<u64> = Vec::new();
+    let mut rng = Xoshiro256StarStar::new(9);
+    for step in 0..2_000u64 {
+        if uniform01(&mut rng) < 0.6 && model.len() < 64 {
+            let pushed = ctx.run(|tx| st.push(tx, step));
+            assert!(pushed);
+            model.push(step);
+        } else {
+            let got = ctx.run(|tx| st.pop(tx));
+            assert_eq!(got, model.pop());
+        }
+    }
+    assert_eq!(st.contents_direct(&stm), model);
+}
