@@ -1,0 +1,297 @@
+//! Offline stub of the `crossbeam` facade, exposing only the
+//! `crossbeam::epoch` API surface that `tcp-stm`'s lock-free structures
+//! use: `Atomic`, `Owned`, `Shared`, `Guard`, `pin`, `unprotected`, and
+//! `Guard::defer_destroy`.
+//!
+//! ## Reclamation model
+//!
+//! Real crossbeam frees retired nodes once every pinned epoch has moved
+//! on. Implementing that here would mean reimplementing epoch-based
+//! reclamation; instead this stub **leaks retired nodes**
+//! ([`epoch::Guard::defer_destroy`] is a no-op). That choice is *sound*:
+//! no node is ever freed while another thread may still hold a pointer to
+//! it, and — as a side effect — the classic ABA hazard of Treiber-style
+//! stacks cannot occur because addresses are never reused. Payload values
+//! are still moved out and dropped exactly once by the winning `pop`, so
+//! only the node headers (a pointer plus `ManuallyDrop<T>` shell) leak.
+//! Bounded test/bench workloads make this acceptable; swap the real crate
+//! back in for production use.
+
+pub mod epoch {
+    use std::marker::PhantomData;
+    use std::ptr;
+    use std::sync::atomic::{AtomicPtr, Ordering};
+
+    /// A pinned-epoch witness. In this stub it carries no state; it exists
+    /// so the lifetimes of [`Shared`] pointers are still scoped exactly as
+    /// with real crossbeam.
+    pub struct Guard {
+        _private: (),
+    }
+
+    impl Guard {
+        /// Defer destruction of `ptr` until no thread can reach it.
+        ///
+        /// Stub behaviour: leak the allocation (see module docs). The
+        /// signature and safety contract match real crossbeam so callers
+        /// compile unchanged.
+        ///
+        /// # Safety
+        /// `ptr` must point to a live allocation that has been made
+        /// unreachable to new readers.
+        pub unsafe fn defer_destroy<T>(&self, ptr: Shared<'_, T>) {
+            let _ = ptr;
+        }
+    }
+
+    /// Pin the current epoch.
+    pub fn pin() -> Guard {
+        Guard { _private: () }
+    }
+
+    static UNPROTECTED: Guard = Guard { _private: () };
+
+    /// A guard usable when no concurrent access is possible (e.g. inside
+    /// `Drop` of the owning structure).
+    ///
+    /// # Safety
+    /// Caller must guarantee exclusive access to the data structure.
+    pub unsafe fn unprotected() -> &'static Guard {
+        &UNPROTECTED
+    }
+
+    /// Types that can be handed to [`Atomic::compare_exchange`] as the new
+    /// value: either an [`Owned`] (ownership transferred on success) or a
+    /// [`Shared`].
+    pub trait Pointer<T> {
+        fn into_ptr(self) -> *mut T;
+        /// # Safety
+        /// `ptr` must have originated from `into_ptr` of the same impl.
+        unsafe fn from_ptr(ptr: *mut T) -> Self;
+    }
+
+    /// An owned heap allocation, like `Box<T>`, convertible to [`Shared`].
+    pub struct Owned<T> {
+        ptr: *mut T,
+    }
+
+    impl<T> Owned<T> {
+        pub fn new(value: T) -> Self {
+            Self {
+                ptr: Box::into_raw(Box::new(value)),
+            }
+        }
+
+        /// Convert into a [`Shared`] tied to `guard`'s lifetime,
+        /// relinquishing ownership.
+        pub fn into_shared<'g>(self, _guard: &'g Guard) -> Shared<'g, T> {
+            let ptr = self.ptr;
+            std::mem::forget(self);
+            Shared {
+                ptr,
+                _marker: PhantomData,
+            }
+        }
+    }
+
+    impl<T> std::ops::Deref for Owned<T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            unsafe { &*self.ptr }
+        }
+    }
+
+    impl<T> std::ops::DerefMut for Owned<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            unsafe { &mut *self.ptr }
+        }
+    }
+
+    impl<T> Drop for Owned<T> {
+        fn drop(&mut self) {
+            unsafe { drop(Box::from_raw(self.ptr)) }
+        }
+    }
+
+    impl<T> Pointer<T> for Owned<T> {
+        fn into_ptr(self) -> *mut T {
+            let ptr = self.ptr;
+            std::mem::forget(self);
+            ptr
+        }
+        unsafe fn from_ptr(ptr: *mut T) -> Self {
+            Self { ptr }
+        }
+    }
+
+    /// A shared pointer valid for the lifetime of a [`Guard`].
+    pub struct Shared<'g, T> {
+        ptr: *mut T,
+        _marker: PhantomData<&'g T>,
+    }
+
+    impl<T> Clone for Shared<'_, T> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+    impl<T> Copy for Shared<'_, T> {}
+
+    impl<T> std::fmt::Debug for Shared<'_, T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "Shared({:p})", self.ptr)
+        }
+    }
+
+    impl<T> PartialEq for Shared<'_, T> {
+        fn eq(&self, other: &Self) -> bool {
+            ptr::eq(self.ptr, other.ptr)
+        }
+    }
+    impl<T> Eq for Shared<'_, T> {}
+
+    impl<'g, T> Shared<'g, T> {
+        pub fn null() -> Self {
+            Self {
+                ptr: ptr::null_mut(),
+                _marker: PhantomData,
+            }
+        }
+
+        pub fn is_null(&self) -> bool {
+            self.ptr.is_null()
+        }
+
+        /// # Safety
+        /// The pointee, if non-null, must still be live.
+        pub unsafe fn as_ref(&self) -> Option<&'g T> {
+            self.ptr.as_ref()
+        }
+
+        /// # Safety
+        /// Must be non-null and live.
+        pub unsafe fn deref(&self) -> &'g T {
+            &*self.ptr
+        }
+
+        /// Reclaim ownership of the allocation.
+        ///
+        /// # Safety
+        /// Must be non-null, live, and unreachable to any other thread.
+        pub unsafe fn into_owned(self) -> Owned<T> {
+            Owned { ptr: self.ptr }
+        }
+    }
+
+    impl<T> Pointer<T> for Shared<'_, T> {
+        fn into_ptr(self) -> *mut T {
+            self.ptr
+        }
+        unsafe fn from_ptr(ptr: *mut T) -> Self {
+            Self {
+                ptr,
+                _marker: PhantomData,
+            }
+        }
+    }
+
+    /// Returned by a failed [`Atomic::compare_exchange`]: the value
+    /// actually observed plus the not-installed `new` pointer.
+    pub struct CompareExchangeError<'g, T, P: Pointer<T>> {
+        /// The value the atomic held at failure time.
+        pub current: Shared<'g, T>,
+        /// The rejected new value, returned so ownership is not lost.
+        pub new: P,
+    }
+
+    /// An atomic nullable pointer to `T`, the linchpin of the API.
+    pub struct Atomic<T> {
+        inner: AtomicPtr<T>,
+    }
+
+    impl<T> Atomic<T> {
+        pub fn null() -> Self {
+            Self {
+                inner: AtomicPtr::new(ptr::null_mut()),
+            }
+        }
+
+        pub fn load<'g>(&self, ord: Ordering, _guard: &'g Guard) -> Shared<'g, T> {
+            Shared {
+                ptr: self.inner.load(ord),
+                _marker: PhantomData,
+            }
+        }
+
+        pub fn store(&self, new: Shared<'_, T>, ord: Ordering) {
+            self.inner.store(new.ptr, ord);
+        }
+
+        pub fn compare_exchange<'g, P: Pointer<T>>(
+            &self,
+            current: Shared<'_, T>,
+            new: P,
+            success: Ordering,
+            failure: Ordering,
+            _guard: &'g Guard,
+        ) -> Result<Shared<'g, T>, CompareExchangeError<'g, T, P>> {
+            let new_ptr = new.into_ptr();
+            match self
+                .inner
+                .compare_exchange(current.ptr, new_ptr, success, failure)
+            {
+                Ok(prev) => Ok(Shared {
+                    ptr: prev,
+                    _marker: PhantomData,
+                }),
+                Err(observed) => Err(CompareExchangeError {
+                    current: Shared {
+                        ptr: observed,
+                        _marker: PhantomData,
+                    },
+                    new: unsafe { P::from_ptr(new_ptr) },
+                }),
+            }
+        }
+    }
+
+    impl<T> From<Shared<'_, T>> for Atomic<T> {
+        fn from(s: Shared<'_, T>) -> Self {
+            Self {
+                inner: AtomicPtr::new(s.ptr),
+            }
+        }
+    }
+
+    unsafe impl<T: Send + Sync> Send for Atomic<T> {}
+    unsafe impl<T: Send + Sync> Sync for Atomic<T> {}
+    unsafe impl<T: Send> Send for Owned<T> {}
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::sync::atomic::Ordering::SeqCst;
+
+        #[test]
+        fn cas_owned_roundtrip() {
+            let a: Atomic<u64> = Atomic::null();
+            let g = pin();
+            let node = Owned::new(7u64);
+            let installed = a
+                .compare_exchange(Shared::null(), node, SeqCst, SeqCst, &g)
+                .is_ok();
+            assert!(installed);
+            let loaded = a.load(SeqCst, &g);
+            assert_eq!(unsafe { *loaded.deref() }, 7);
+            // Failed CAS hands the Owned back.
+            let spare = Owned::new(9u64);
+            let err = a
+                .compare_exchange(Shared::null(), spare, SeqCst, SeqCst, &g)
+                .err()
+                .expect("must fail: not null");
+            assert_eq!(*err.new, 9);
+            assert_eq!(err.current, loaded);
+            unsafe { drop(loaded.into_owned()) }
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Offline stub of the `rand` facade crate.
+//!
+//! The build environment has no network access to crates.io, and this
+//! workspace only consumes two items from `rand`: the [`RngCore`] and
+//! [`SeedableRng`] traits (every generator and every distribution is
+//! implemented from scratch in `tcp-core`). This vendored stub provides
+//! exactly those, with the same signatures and blanket impls as
+//! `rand_core` 0.8, so swapping the real crate back in is a one-line
+//! `Cargo.toml` change.
+
+/// The core of a random number generator: a source of `u32`/`u64` words
+/// and raw bytes. Object-safe, mirroring `rand_core::RngCore`.
+pub trait RngCore {
+    /// Return the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+
+    /// Return the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    #[inline]
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    #[inline]
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator that can be instantiated from a fixed seed, mirroring
+/// `rand_core::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Seed type, typically `[u8; N]`.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Create a generator from the full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Create a generator from a `u64`, expanding it with SplitMix64 the
+    /// same way `rand_core` does.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 += 1;
+            self.0
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for b in dest {
+                *b = self.next_u64() as u8;
+            }
+        }
+    }
+
+    #[test]
+    fn blanket_impls_delegate() {
+        let mut c = Counter(0);
+        let mut boxed: Box<dyn RngCore> = Box::new(Counter(10));
+        assert_eq!((&mut c as &mut dyn RngCore).next_u64(), 1);
+        assert_eq!(boxed.next_u64(), 11);
+    }
+}
