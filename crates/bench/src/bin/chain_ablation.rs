@@ -34,11 +34,11 @@ fn main() {
                 let mut sim = Simulator::new(cfg, Arc::new(StackWorkload::default()));
                 sim.run();
                 let s = &sim.stats;
-                let total_chains: u64 = s.chain_hist.iter().sum();
+                let total_chains: u64 = s.global.chain_hist.iter().sum();
                 let mean_k: f64 = if total_chains == 0 {
                     0.0
                 } else {
-                    s.chain_hist
+                    s.global.chain_hist
                         .iter()
                         .enumerate()
                         .map(|(k, &n)| k as f64 * n as f64)

@@ -35,9 +35,9 @@ fn main() {
         let r = run_synthetic(&cfg, &rem, p.as_ref());
         table::row(&[
             p.name(),
-            table::num(r.mean_cost),
-            table::num(r.mean_opt),
-            table::num(r.ratio),
+            table::num(r.mean_cost()),
+            table::num(r.mean_opt()),
+            table::num(r.cost_ratio()),
         ]);
     }
 }

@@ -96,8 +96,8 @@ fn cmd_sim(f: &Flags) -> Result<(), String> {
     let (commits, aborts, conflicts, saved, ops) = (
         s.commits(),
         s.aborts(),
-        s.conflicts,
-        s.saved_by_delay,
+        s.global.conflicts,
+        s.global.saved_by_delay,
         s.ops_per_second(1.0),
     );
     let (p50, p99) = (s.latency_percentile(50.0), s.latency_percentile(99.0));
@@ -141,10 +141,10 @@ fn cmd_synthetic(f: &Flags) -> Result<(), String> {
     table::header(&["policy", "mean_cost", "mean_opt", "ratio", "abort_rate"]);
     table::row(&[
         policy.name(),
-        table::num(r.mean_cost),
-        table::num(r.mean_opt),
-        table::num(r.ratio),
-        table::num(r.abort_rate),
+        table::num(r.mean_cost()),
+        table::num(r.mean_opt()),
+        table::num(r.cost_ratio()),
+        table::num(r.abort_rate()),
     ]);
     Ok(())
 }

@@ -109,10 +109,10 @@ pub mod fig2 {
             for p in &policies {
                 let r = run_synthetic(&cfg, &rem, p.as_ref());
                 if !opt_printed {
-                    cells.push(table::num(r.mean_opt));
+                    cells.push(table::num(r.mean_opt()));
                     opt_printed = true;
                 }
-                cells.push(table::num(r.mean_cost));
+                cells.push(table::num(r.mean_cost()));
             }
             table::row(&cells);
         }

@@ -1,0 +1,649 @@
+//! The shared conflict-resolution engine layer.
+//!
+//! All three execution substrates of this workspace — the TL2-style STM
+//! (`tcp-stm`), the discrete-event HTM simulator (`tcp-htm-sim`), and the
+//! ski-rental Monte-Carlo harness (`tcp-skirental`) — face the same three
+//! chores around every conflict:
+//!
+//! 1. **consult** the configured [`GracePolicy`] with a well-formed
+//!    [`Conflict`] (abort cost inflated by §7 backoff, chain length
+//!    observed or defaulted to 2) and **sanitize** the answer (a buggy
+//!    policy returning NaN/∞/negative must degrade to an immediate
+//!    resolution, and a cap may bound runaway grace periods);
+//! 2. **account** for what happened in a thread-local tally that can be
+//!    merged across threads/cores afterwards;
+//! 3. **fan out** deterministic per-thread random streams from one master
+//!    seed.
+//!
+//! Before this module each substrate reimplemented all three. Now
+//! [`ConflictArbiter`] owns the consultation loop and per-transaction
+//! [`BackoffState`], [`EngineStats`] is the one mergeable tally (with
+//! [`ShardedStats`] for per-thread sharding plus run-global counters), and
+//! [`SeedFanout`] hands out independent [`Xoshiro256StarStar`] substreams.
+
+use rand::RngCore;
+
+use crate::conflict::{Conflict, ResolutionMode};
+use crate::policy::GracePolicy;
+use crate::progress::BackoffState;
+use crate::rng::Xoshiro256StarStar;
+
+/// Number of buckets in the conflict-chain-length histogram (index = `k`,
+/// saturating at the last bucket).
+pub const CHAIN_HIST_LEN: usize = 17;
+
+/// Why a transaction (or attempt) aborted — the union of the causes the
+/// substrates distinguish.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AbortKind {
+    /// Lost a conflict (the grace period expired against it).
+    Conflict,
+    /// Read-set validation failed (STM: a word changed under the snapshot).
+    Validation,
+    /// Broke a would-be waiting cycle (the HTM's cycle detector, §3.2(c)).
+    CycleBreak,
+    /// Transactional footprint exceeded the cache capacity.
+    Capacity,
+    /// Another transaction's requestor-wins resolution flagged this one.
+    RemoteKill,
+}
+
+/// The unified, mergeable statistics tally of the engine layer.
+///
+/// One `EngineStats` describes one shard of work: a thread's transactions
+/// (STM), a simulated core's (HTM sim), or a batch of Monte-Carlo trials
+/// (ski rental / synthetic). Shards [`merge`](Self::merge) into aggregate
+/// views; [`ShardedStats`] packages the common per-thread layout.
+///
+/// Time-like counters (`wait_cycles`, `wasted_cycles`, `total_latency`,
+/// `cycles`) are unit-agnostic: the STM records nanoseconds, the simulator
+/// records simulated cycles. Merging only makes sense between shards of
+/// the same substrate.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct EngineStats {
+    /// Committed transactions (or, for cost-model substrates, resolved
+    /// conflicts).
+    pub commits: u64,
+    /// Aborted attempts, all causes together.
+    pub aborts: u64,
+    pub conflict_aborts: u64,
+    pub validation_aborts: u64,
+    pub cycle_aborts: u64,
+    pub capacity_aborts: u64,
+    pub remote_kills: u64,
+    /// Times the slow-path fallback engaged.
+    pub fallbacks: u64,
+    /// Time spent waiting out grace periods (stalled behind a conflict).
+    pub wait_cycles: u64,
+    /// Transactional work discarded by aborts.
+    pub wasted_cycles: u64,
+    /// Start-of-first-attempt to commit, summed over transactions (the
+    /// paper's Σ_T Γ(T, A), the inverse-throughput metric of §6).
+    pub total_latency: u64,
+    /// Conflicts detected (delayed or not).
+    pub conflicts: u64,
+    /// Conflicts that received a non-zero grace period.
+    pub delayed_conflicts: u64,
+    /// Conflicts where the receiver committed within its grace period.
+    pub saved_by_delay: u64,
+    /// Histogram of observed conflict chain lengths `k` (index = `k`,
+    /// saturating at [`CHAIN_HIST_LEN`]` - 1`).
+    pub chain_hist: [u64; CHAIN_HIST_LEN],
+    /// Run duration (simulated cycles / wall nanoseconds). Merging takes
+    /// the max: shards of one run share a horizon, they don't extend it.
+    pub cycles: u64,
+    /// Per-commit latency samples, when recording is enabled.
+    pub latencies: Vec<u64>,
+    /// Monte-Carlo trials accounted in the cost accumulators below.
+    pub trials: u64,
+    /// Total online cost across trials (cost-model substrates).
+    pub total_cost: f64,
+    /// Total offline-optimal cost across trials.
+    pub total_opt: f64,
+    /// Sum of per-trial cost/OPT ratios.
+    pub total_ratio: f64,
+}
+
+impl EngineStats {
+    /// Fold another shard into this one.
+    pub fn merge(&mut self, other: &EngineStats) {
+        self.commits += other.commits;
+        self.aborts += other.aborts;
+        self.conflict_aborts += other.conflict_aborts;
+        self.validation_aborts += other.validation_aborts;
+        self.cycle_aborts += other.cycle_aborts;
+        self.capacity_aborts += other.capacity_aborts;
+        self.remote_kills += other.remote_kills;
+        self.fallbacks += other.fallbacks;
+        self.wait_cycles += other.wait_cycles;
+        self.wasted_cycles += other.wasted_cycles;
+        self.total_latency += other.total_latency;
+        self.conflicts += other.conflicts;
+        self.delayed_conflicts += other.delayed_conflicts;
+        self.saved_by_delay += other.saved_by_delay;
+        for (a, b) in self.chain_hist.iter_mut().zip(other.chain_hist.iter()) {
+            *a += b;
+        }
+        self.cycles = self.cycles.max(other.cycles);
+        self.latencies.extend_from_slice(&other.latencies);
+        self.trials += other.trials;
+        self.total_cost += other.total_cost;
+        self.total_opt += other.total_opt;
+        self.total_ratio += other.total_ratio;
+    }
+
+    /// Record one abort of the given kind, discarding `wasted` time units
+    /// of transactional work.
+    pub fn record_abort(&mut self, kind: AbortKind, wasted: u64) {
+        self.aborts += 1;
+        self.wasted_cycles += wasted;
+        match kind {
+            AbortKind::Conflict => self.conflict_aborts += 1,
+            AbortKind::Validation => self.validation_aborts += 1,
+            AbortKind::CycleBreak => self.cycle_aborts += 1,
+            AbortKind::Capacity => self.capacity_aborts += 1,
+            AbortKind::RemoteKill => self.remote_kills += 1,
+        }
+    }
+
+    /// Record an observed conflict chain of length `k`.
+    pub fn record_chain(&mut self, k: usize) {
+        self.chain_hist[k.min(CHAIN_HIST_LEN - 1)] += 1;
+    }
+
+    /// Record one Monte-Carlo trial: online cost vs the offline optimum.
+    pub fn record_trial(&mut self, cost: f64, opt: f64) {
+        self.trials += 1;
+        self.total_cost += cost;
+        self.total_opt += opt;
+        self.total_ratio += cost / opt;
+    }
+
+    /// Committed transactions per time unit.
+    pub fn throughput(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.commits as f64 / self.cycles as f64
+        }
+    }
+
+    /// Ops/second at a nominal clock frequency (the paper reports ops/s on
+    /// a 1 GHz simulated core).
+    pub fn ops_per_second(&self, ghz: f64) -> f64 {
+        self.throughput() * ghz * 1e9
+    }
+
+    /// Aborts per commit — the contention indicator.
+    pub fn abort_ratio(&self) -> f64 {
+        if self.commits == 0 {
+            f64::INFINITY
+        } else {
+            self.aborts as f64 / self.commits as f64
+        }
+    }
+
+    /// Fraction of Monte-Carlo trials that ended in an abort (grace expired
+    /// before the receiver committed / the skis were bought).
+    pub fn abort_rate(&self) -> f64 {
+        self.aborts as f64 / self.trials as f64
+    }
+
+    /// Mean online cost per trial.
+    pub fn mean_cost(&self) -> f64 {
+        self.total_cost / self.trials as f64
+    }
+
+    /// Mean offline-optimal cost per trial.
+    pub fn mean_opt(&self) -> f64 {
+        self.total_opt / self.trials as f64
+    }
+
+    /// Ratio of means `E[cost]/E[OPT]` — the throughput-style metric.
+    pub fn cost_ratio(&self) -> f64 {
+        self.total_cost / self.total_opt
+    }
+
+    /// Mean of per-trial ratios `E[cost/OPT]` — the per-instance metric.
+    pub fn mean_ratio(&self) -> f64 {
+        self.total_ratio / self.trials as f64
+    }
+
+    /// Latency percentile over committed transactions (`p ∈ [0, 100]`).
+    /// Returns 0 when no latencies were recorded.
+    pub fn latency_percentile(&mut self, p: f64) -> u64 {
+        if self.latencies.is_empty() {
+            return 0;
+        }
+        debug_assert!((0.0..=100.0).contains(&p));
+        self.latencies.sort_unstable();
+        let idx = ((p / 100.0) * (self.latencies.len() - 1) as f64).round() as usize;
+        self.latencies[idx]
+    }
+}
+
+/// Per-thread sharding of [`EngineStats`] plus run-global counters.
+///
+/// Substrates that run many threads/cores keep one shard per thread and
+/// record run-wide observations (conflicts seen, chain lengths, latency
+/// samples, the horizon) in [`global`](Self::global). The aggregate
+/// accessors sum across shards; [`merged`](Self::merged) flattens
+/// everything into one [`EngineStats`] snapshot.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ShardedStats {
+    /// One tally per thread/core.
+    pub per_thread: Vec<EngineStats>,
+    /// Run-global counters not attributable to a single thread.
+    pub global: EngineStats,
+}
+
+impl ShardedStats {
+    pub fn new(threads: usize) -> Self {
+        Self {
+            per_thread: vec![EngineStats::default(); threads],
+            global: EngineStats::default(),
+        }
+    }
+
+    /// Flatten shards and global counters into one tally.
+    pub fn merged(&self) -> EngineStats {
+        let mut out = self.global.clone();
+        for shard in &self.per_thread {
+            out.merge(shard);
+        }
+        out
+    }
+
+    pub fn commits(&self) -> u64 {
+        self.per_thread.iter().map(|c| c.commits).sum()
+    }
+
+    pub fn aborts(&self) -> u64 {
+        self.per_thread.iter().map(|c| c.aborts).sum()
+    }
+
+    pub fn wasted_cycles(&self) -> u64 {
+        self.per_thread.iter().map(|c| c.wasted_cycles).sum()
+    }
+
+    pub fn wait_cycles(&self) -> u64 {
+        self.per_thread.iter().map(|c| c.wait_cycles).sum()
+    }
+
+    pub fn total_latency(&self) -> u64 {
+        self.per_thread.iter().map(|c| c.total_latency).sum()
+    }
+
+    pub fn fallbacks(&self) -> u64 {
+        self.per_thread.iter().map(|c| c.fallbacks).sum()
+    }
+
+    pub fn throughput(&self) -> f64 {
+        if self.global.cycles == 0 {
+            0.0
+        } else {
+            self.commits() as f64 / self.global.cycles as f64
+        }
+    }
+
+    pub fn ops_per_second(&self, ghz: f64) -> f64 {
+        self.throughput() * ghz * 1e9
+    }
+
+    pub fn abort_ratio(&self) -> f64 {
+        let c = self.commits();
+        if c == 0 {
+            f64::INFINITY
+        } else {
+            self.aborts() as f64 / c as f64
+        }
+    }
+
+    /// Record an abort against thread `shard`.
+    pub fn record_abort(&mut self, shard: usize, kind: AbortKind, wasted: u64) {
+        self.per_thread[shard].record_abort(kind, wasted);
+    }
+
+    /// Record an observed conflict chain (run-global).
+    pub fn record_chain(&mut self, k: usize) {
+        self.global.record_chain(k);
+    }
+
+    /// Latency percentile over the run-global latency samples.
+    pub fn latency_percentile(&mut self, p: f64) -> u64 {
+        self.global.latency_percentile(p)
+    }
+}
+
+/// Deterministic per-thread seed fan-out.
+///
+/// Wraps a master [`Xoshiro256StarStar`] and hands out statistically
+/// independent substreams (2^128 steps apart) in a fixed order, so a run
+/// is bit-reproducible from one `u64` seed no matter how many threads it
+/// fans out to.
+#[derive(Clone, Debug)]
+pub struct SeedFanout {
+    master: Xoshiro256StarStar,
+}
+
+impl SeedFanout {
+    pub fn new(seed: u64) -> Self {
+        Self {
+            master: Xoshiro256StarStar::new(seed),
+        }
+    }
+
+    /// The next independent substream (advances the fan-out).
+    pub fn stream(&mut self) -> Xoshiro256StarStar {
+        self.master.split()
+    }
+
+    /// `n` independent substreams for threads `0..n`.
+    pub fn streams(seed: u64, n: usize) -> Vec<Xoshiro256StarStar> {
+        let mut fan = Self::new(seed);
+        (0..n).map(|_| fan.stream()).collect()
+    }
+}
+
+/// The grace period chosen for one conflict, plus the conflict shape the
+/// policy was consulted with (useful for logging and cost accounting).
+#[derive(Clone, Copy, Debug)]
+pub struct GraceDecision {
+    /// Sanitized grace period: finite, `≥ 0`, and within the cap.
+    pub grace: f64,
+    /// The (backoff-inflated) conflict the policy saw.
+    pub conflict: Conflict,
+}
+
+/// Owns one thread's policy-consultation loop: §7 abort-cost inflation,
+/// conflict construction, grace sampling, and sanitization of the
+/// policy's answer.
+///
+/// Keep one arbiter per thread/core (it carries that thread's
+/// [`BackoffState`]); call [`on_abort`](Self::on_abort) /
+/// [`on_commit`](Self::on_commit) at transaction boundaries and
+/// [`decide`](Self::decide) at each conflict. When the *costed* side of a
+/// conflict is a different thread (requestor-wins resolution charges the
+/// receiver), combine the receiver arbiter's
+/// [`effective_cost`](Self::effective_cost) with the requestor arbiter's
+/// [`sample`](Self::sample), which is exactly what the HTM simulator does.
+#[derive(Clone)]
+pub struct ConflictArbiter<P> {
+    policy: P,
+    /// §7 multiplicative abort-cost inflation state (public: substrates
+    /// with their own retry accounting may inspect it).
+    pub backoff: BackoffState,
+    backoff_enabled: bool,
+    /// Cap on the sampled grace as a multiple of the effective abort cost
+    /// (`f64::INFINITY` = uncapped).
+    grace_cap_factor: f64,
+}
+
+impl<P: GracePolicy> std::fmt::Debug for ConflictArbiter<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConflictArbiter")
+            .field("policy", &self.policy.name())
+            .field("backoff", &self.backoff)
+            .field("backoff_enabled", &self.backoff_enabled)
+            .field("grace_cap_factor", &self.grace_cap_factor)
+            .finish()
+    }
+}
+
+impl<P: GracePolicy> ConflictArbiter<P> {
+    /// An arbiter with backoff enabled and no grace cap — the STM default.
+    pub fn new(policy: P) -> Self {
+        Self {
+            policy,
+            backoff: BackoffState::default(),
+            backoff_enabled: true,
+            grace_cap_factor: f64::INFINITY,
+        }
+    }
+
+    /// Enable/disable §7 abort-cost inflation (ablation knob).
+    pub fn with_backoff(mut self, enabled: bool) -> Self {
+        self.backoff_enabled = enabled;
+        self
+    }
+
+    /// Bound any single grace period to `factor ×` the effective abort
+    /// cost (defensive: the optimal policies never exceed `B/(k−1)`).
+    pub fn with_grace_cap(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0, "grace cap must be positive");
+        self.grace_cap_factor = factor;
+        self
+    }
+
+    /// The wrapped policy.
+    pub fn policy(&self) -> &P {
+        &self.policy
+    }
+
+    /// Which side aborts when the grace expires, for conflicts of shape `c`.
+    pub fn mode(&self, c: &Conflict) -> ResolutionMode {
+        self.policy.mode(c)
+    }
+
+    /// Record a commit: resets the abort-cost inflation.
+    pub fn on_commit(&mut self) {
+        self.backoff.reset();
+    }
+
+    /// Record an abort: doubles (by default) the reported abort cost.
+    pub fn on_abort(&mut self) {
+        self.backoff.bump();
+    }
+
+    /// The abort cost this thread reports for a conflict, after backoff
+    /// inflation: `base × factor^attempts` (or `base` when backoff is
+    /// disabled). `base` is elapsed running time plus fixed cleanup.
+    pub fn effective_cost(&self, base: f64) -> f64 {
+        if self.backoff_enabled {
+            self.backoff.effective_cost(base)
+        } else {
+            base
+        }
+    }
+
+    /// Consult the policy for a conflict whose (already inflated) abort
+    /// cost is `cost` and chain length is `chain`, sanitizing the answer:
+    /// non-finite grace degrades to 0 (immediate resolution), negatives
+    /// clamp to 0, and the cap bounds the top.
+    pub fn sample(&self, cost: f64, chain: usize, rng: &mut dyn RngCore) -> GraceDecision {
+        let conflict = Conflict::chain(cost.max(1.0), chain);
+        let raw = self.policy.grace(&conflict, rng);
+        let cap = self.grace_cap_factor * conflict.abort_cost;
+        let grace = if raw.is_finite() {
+            raw.clamp(0.0, cap)
+        } else {
+            0.0
+        };
+        GraceDecision { grace, conflict }
+    }
+
+    /// The full same-thread consultation: inflate `base` by this thread's
+    /// backoff, then [`sample`](Self::sample).
+    pub fn decide(&self, base: f64, chain: usize, rng: &mut dyn RngCore) -> GraceDecision {
+        self.sample(self.effective_cost(base), chain, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{DetRw, NoDelay};
+    use crate::randomized::RandRw;
+
+    #[test]
+    fn stats_merge_sums_and_saturates() {
+        let mut a = EngineStats::default();
+        a.commits = 30;
+        a.record_abort(AbortKind::Conflict, 100);
+        a.record_chain(2);
+        a.cycles = 1000;
+        let mut b = EngineStats::default();
+        b.commits = 20;
+        b.record_abort(AbortKind::Capacity, 50);
+        b.record_abort(AbortKind::CycleBreak, 25);
+        b.record_chain(2);
+        b.record_chain(40);
+        b.cycles = 1000;
+        a.merge(&b);
+        assert_eq!(a.commits, 50);
+        assert_eq!(a.aborts, 3);
+        assert_eq!(
+            (a.conflict_aborts, a.capacity_aborts, a.cycle_aborts),
+            (1, 1, 1)
+        );
+        assert_eq!(a.wasted_cycles, 175);
+        assert_eq!(a.chain_hist[2], 2);
+        assert_eq!(a.chain_hist[CHAIN_HIST_LEN - 1], 1);
+        assert_eq!(a.cycles, 1000, "cycles take the max, not the sum");
+        assert!((a.throughput() - 0.05).abs() < 1e-12);
+        assert!((a.ops_per_second(1.0) - 5e7).abs() < 1.0);
+    }
+
+    #[test]
+    fn abort_ratio_and_zero_guards() {
+        let mut s = EngineStats::default();
+        assert_eq!(s.throughput(), 0.0);
+        assert!(s.abort_ratio().is_infinite());
+        s.commits = 50;
+        s.aborts = 10;
+        s.cycles = 1000;
+        assert!((s.abort_ratio() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trial_accounting_matches_rental_semantics() {
+        let mut s = EngineStats::default();
+        s.record_trial(150.0, 100.0);
+        s.record_trial(90.0, 100.0);
+        assert_eq!(s.trials, 2);
+        assert!((s.mean_cost() - 120.0).abs() < 1e-12);
+        assert!((s.mean_opt() - 100.0).abs() < 1e-12);
+        assert!((s.cost_ratio() - 1.2).abs() < 1e-12);
+        assert!((s.mean_ratio() - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_percentiles() {
+        let mut s = EngineStats::default();
+        s.latencies = (1..=100).rev().collect();
+        assert_eq!(s.latency_percentile(0.0), 1);
+        assert_eq!(s.latency_percentile(50.0), 51);
+        assert_eq!(s.latency_percentile(100.0), 100);
+        let mut empty = EngineStats::default();
+        assert_eq!(empty.latency_percentile(99.0), 0);
+    }
+
+    #[test]
+    fn sharded_aggregates_and_merges() {
+        let mut s = ShardedStats::new(2);
+        s.per_thread[0].commits = 30;
+        s.per_thread[1].commits = 20;
+        s.record_abort(0, AbortKind::Conflict, 10);
+        s.record_chain(3);
+        s.global.cycles = 1000;
+        assert_eq!(s.commits(), 50);
+        assert_eq!(s.aborts(), 1);
+        assert!((s.throughput() - 0.05).abs() < 1e-12);
+        let merged = s.merged();
+        assert_eq!(merged.commits, 50);
+        assert_eq!(merged.chain_hist[3], 1);
+        assert_eq!(merged.cycles, 1000);
+        assert_eq!(merged.wasted_cycles, 10);
+    }
+
+    #[test]
+    fn seed_fanout_is_deterministic_and_disjoint() {
+        let mut a = SeedFanout::new(42);
+        let mut b = SeedFanout::new(42);
+        for _ in 0..4 {
+            let (mut x, mut y) = (a.stream(), b.stream());
+            for _ in 0..100 {
+                assert_eq!(x.next_u64(), y.next_u64());
+            }
+        }
+        let streams = SeedFanout::streams(7, 3);
+        let mut outs: Vec<u64> = streams
+            .into_iter()
+            .map(|mut s| s.next_u64())
+            .collect();
+        outs.dedup();
+        assert_eq!(outs.len(), 3, "substreams must differ");
+    }
+
+    #[test]
+    fn arbiter_inflates_and_sanitizes() {
+        let mut rng = Xoshiro256StarStar::new(1);
+        let mut arb = ConflictArbiter::new(DetRw);
+        // DET waits B/(k-1): base 100, k=2 → 100.
+        assert_eq!(arb.decide(100.0, 2, &mut rng).grace, 100.0);
+        // One abort doubles the reported cost.
+        arb.on_abort();
+        assert_eq!(arb.decide(100.0, 2, &mut rng).grace, 200.0);
+        // Commit resets.
+        arb.on_commit();
+        assert_eq!(arb.decide(100.0, 2, &mut rng).grace, 100.0);
+        // Disabled backoff ignores bumps.
+        let mut arb = ConflictArbiter::new(DetRw).with_backoff(false);
+        arb.on_abort();
+        assert_eq!(arb.decide(100.0, 2, &mut rng).grace, 100.0);
+    }
+
+    #[test]
+    fn arbiter_caps_grace() {
+        let mut rng = Xoshiro256StarStar::new(1);
+        // DetRa-like behaviour via DetRw at k=2 gives grace = B; cap at
+        // 0.5×B must clamp it.
+        let arb = ConflictArbiter::new(DetRw).with_grace_cap(0.5);
+        let d = arb.decide(100.0, 2, &mut rng);
+        assert_eq!(d.grace, 50.0);
+        assert_eq!(d.conflict.abort_cost, 100.0);
+    }
+
+    #[test]
+    fn arbiter_degrades_non_finite_grace_to_zero() {
+        /// A hostile policy returning NaN.
+        #[derive(Clone, Copy)]
+        struct NanPolicy;
+        impl GracePolicy for NanPolicy {
+            fn mode(&self, _c: &Conflict) -> ResolutionMode {
+                ResolutionMode::RequestorWins
+            }
+            fn grace(&self, _c: &Conflict, _rng: &mut dyn RngCore) -> f64 {
+                f64::NAN
+            }
+            fn name(&self) -> String {
+                "NAN".into()
+            }
+        }
+        let mut rng = Xoshiro256StarStar::new(1);
+        let arb = ConflictArbiter::new(NanPolicy);
+        assert_eq!(arb.decide(100.0, 2, &mut rng).grace, 0.0);
+    }
+
+    #[test]
+    fn arbiter_split_consultation_matches_decide() {
+        // The two-phase form (receiver cost, requestor sampling) equals
+        // decide() when both sides are the same thread.
+        let mut rng1 = Xoshiro256StarStar::new(9);
+        let mut rng2 = Xoshiro256StarStar::new(9);
+        let arb = ConflictArbiter::new(RandRw);
+        let a = arb.decide(250.0, 3, &mut rng1).grace;
+        let b = arb.sample(arb.effective_cost(250.0), 3, &mut rng2).grace;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn arbiter_small_cost_floors_at_one() {
+        let mut rng = Xoshiro256StarStar::new(1);
+        let arb = ConflictArbiter::new(NoDelay::requestor_wins());
+        // Zero/negative base must not panic Conflict::chain.
+        let d = arb.decide(0.0, 2, &mut rng);
+        assert_eq!(d.conflict.abort_cost, 1.0);
+        assert_eq!(d.grace, 0.0);
+    }
+}

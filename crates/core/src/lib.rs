@@ -43,6 +43,7 @@
 pub mod competitive;
 pub mod conflict;
 pub mod discrete;
+pub mod engine;
 pub mod pdf;
 pub mod pdfs;
 pub mod policy;
@@ -58,6 +59,9 @@ pub mod prelude {
         conflict_cost, offline_opt, ra_cost, ra_opt, rw_cost, rw_opt, Conflict, ResolutionMode,
     };
     pub use crate::discrete::{DiscreteKarlin, DiscreteRandRa, DiscreteRandRw};
+    pub use crate::engine::{
+        AbortKind, ConflictArbiter, EngineStats, GraceDecision, SeedFanout, ShardedStats,
+    };
     pub use crate::pdf::GracePdf;
     pub use crate::pdfs::{
         chain_r, RaMeanPdf, RaUnconstrainedPdf, RwMeanChainPdf, RwMeanK2Pdf, RwUnconstrainedPdf,

@@ -25,14 +25,14 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
 
-use tcp_core::conflict::{Conflict, ResolutionMode};
-use tcp_core::progress::BackoffState;
+use tcp_core::conflict::ResolutionMode;
+use tcp_core::engine::{AbortKind, ConflictArbiter, SeedFanout, ShardedStats};
+use tcp_core::policy::GracePolicy;
 use tcp_core::rng::Xoshiro256StarStar;
 use tcp_workloads::programs::{Op, TxnProgram, WorkloadGen};
 
 use crate::config::SimConfig;
 use crate::mem::{CopyState, Directory, Install, L1Cache};
-use crate::stats::{AbortCause, SimStats};
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 enum EvKind {
@@ -79,7 +79,8 @@ struct Core {
     attempts: u32,
     /// Invalidates stale Step/Retry events after an abort.
     epoch: u64,
-    backoff: BackoffState,
+    /// This core's engine-layer consultation loop (policy + §7 backoff).
+    arbiter: ConflictArbiter<Arc<dyn GracePolicy>>,
     /// Slab index of the pending request this core is stalled on.
     waiting_req: Option<usize>,
     /// Core this one is (transitively) waiting behind, for chain-length
@@ -96,7 +97,7 @@ struct Core {
 }
 
 /// The simulator. Construct with [`Simulator::new`], drive with
-/// [`Simulator::run`], read the [`SimStats`] afterwards.
+/// [`Simulator::run`], read the [`ShardedStats`] afterwards.
 pub struct Simulator {
     cfg: SimConfig,
     workload: Arc<dyn WorkloadGen>,
@@ -108,12 +109,12 @@ pub struct Simulator {
     dir: Directory,
     pending: Vec<Option<PendingReq>>,
     next_stamp: u64,
-    pub stats: SimStats,
+    pub stats: ShardedStats,
 }
 
 impl Simulator {
     pub fn new(cfg: SimConfig, workload: Arc<dyn WorkloadGen>) -> Self {
-        let mut master = Xoshiro256StarStar::new(cfg.seed);
+        let mut fan = SeedFanout::new(cfg.seed);
         let cores = (0..cfg.cores)
             .map(|_| Core {
                 program: TxnProgram::default(),
@@ -123,15 +124,17 @@ impl Simulator {
                 first_start: 0,
                 attempts: 0,
                 epoch: 0,
-                backoff: BackoffState::default(),
+                arbiter: ConflictArbiter::new(Arc::clone(&cfg.policy))
+                    .with_backoff(cfg.backoff)
+                    .with_grace_cap(cfg.grace_cap_factor),
                 waiting_req: None,
                 waiting_on: None,
                 unkillable: false,
                 attempt_stall: 0,
-                rng: master.split(),
+                rng: fan.stream(),
             })
             .collect();
-        let stats = SimStats::new(cfg.cores);
+        let stats = ShardedStats::new(cfg.cores);
         let caches = vec![L1Cache::default(); cfg.cores];
         let mut sim = Self {
             cfg,
@@ -153,7 +156,7 @@ impl Simulator {
     }
 
     /// Run until the configured horizon; returns the statistics.
-    pub fn run(&mut self) -> &SimStats {
+    pub fn run(&mut self) -> &ShardedStats {
         while let Some(&Reverse(ev)) = self.events.peek() {
             if ev.time > self.cfg.horizon {
                 break;
@@ -167,7 +170,7 @@ impl Simulator {
                 EvKind::Deadline { req, stamp } => self.handle_deadline(req, stamp),
             }
         }
-        self.stats.cycles = self.cfg.horizon;
+        self.stats.global.cycles = self.cfg.horizon;
         &self.stats
     }
 
@@ -197,7 +200,7 @@ impl Simulator {
         core.pc = 0;
         core.attempts = 0;
         core.unkillable = false;
-        core.backoff.reset();
+        core.arbiter.on_commit();
         core.attempt_start = at;
         core.attempt_stall = 0;
         core.first_start = at;
@@ -218,11 +221,11 @@ impl Simulator {
         // other transactions' grace periods.
         let attempt =
             (self.now - self.cores[c].attempt_start).saturating_sub(self.cores[c].attempt_stall);
-        let stats = &mut self.stats.per_core[c];
+        let stats = &mut self.stats.per_thread[c];
         stats.commits += 1;
         stats.total_latency += latency;
         if self.cfg.record_latencies {
-            self.stats.latencies.push(latency);
+            self.stats.global.latencies.push(latency);
         }
         if let Some(p) = &self.cfg.profiler {
             // The successful attempt's duration — the "fast-path length"
@@ -234,7 +237,7 @@ impl Simulator {
         self.start_next_txn(c, self.now + 1);
     }
 
-    fn abort_core(&mut self, v: usize, cause: AbortCause) {
+    fn abort_core(&mut self, v: usize, cause: AbortKind) {
         self.trace(|| format!("core {v} ABORT {cause:?}"));
         let wasted = self.now.saturating_sub(self.cores[v].attempt_start);
         self.stats.record_abort(v, cause, wasted);
@@ -242,7 +245,7 @@ impl Simulator {
         self.dir.purge(v, &dropped);
         let core = &mut self.cores[v];
         core.epoch += 1;
-        core.backoff.bump();
+        core.arbiter.on_abort();
         core.attempts += 1;
         // If the victim was itself stalled as a requestor, cancel its request.
         if let Some(id) = core.waiting_req.take() {
@@ -251,7 +254,7 @@ impl Simulator {
         self.cores[v].waiting_on = None;
         if self.cores[v].attempts >= self.cfg.max_retries && !self.cores[v].unkillable {
             self.cores[v].unkillable = true;
-            self.stats.per_core[v].fallbacks += 1;
+            self.stats.per_thread[v].fallbacks += 1;
         }
         let epoch = self.cores[v].epoch;
         // Randomized exponential restart backoff: resynchronized retries
@@ -343,7 +346,7 @@ impl Simulator {
             self.perform_miss(c, a, write, self.now);
             return;
         }
-        self.stats.conflicts += 1;
+        self.stats.global.conflicts += 1;
         // Cycle detection (§3.2(c)): if anyone we would wait behind is
         // already (transitively) waiting on us, a waiting cycle would form.
         // Break it by aborting the *youngest* transaction in the cycle
@@ -377,7 +380,7 @@ impl Simulator {
                 .iter()
                 .max_by_key(|&&m| (self.cores[m].first_start, m))
                 .expect("cycle has members");
-            self.abort_core(youngest, AbortCause::CycleBreak);
+            self.abort_core(youngest, AbortKind::CycleBreak);
             if youngest != c {
                 // The cycle is broken; retry the access (it may park
                 // normally now, or find the line free).
@@ -390,7 +393,7 @@ impl Simulator {
         // serializing lock rather than a livelock.
         if self.cores[c].unkillable && victims.iter().all(|&v| self.can_kill(c, v)) {
             for v in victims {
-                self.abort_core(v, AbortCause::Conflict);
+                self.abort_core(v, AbortKind::Conflict);
             }
             self.access(c, a, write); // re-check: the sweep may have granted others
             return;
@@ -405,38 +408,30 @@ impl Simulator {
             ResolutionMode::RequestorWins => primary,
             ResolutionMode::RequestorAborts => c,
         };
+        // The *costed* core's arbiter knows the inflated abort cost (it is
+        // the side that would die); the *requestor's* arbiter samples the
+        // grace with the requestor's own random stream. The arbiter clamps
+        // to the policy cap; the horizon clamp is simulator-specific
+        // (backoff can inflate B geometrically, and a grace period beyond
+        // the horizon is equivalent to "never abort" within this run).
         let elapsed = self.now.saturating_sub(self.cores[costed].attempt_start);
-        let raw_b = (elapsed + self.cfg.abort_cleanup) as f64;
-        let b = if self.cfg.backoff {
-            self.cores[costed].backoff.effective_cost(raw_b)
-        } else {
-            raw_b
-        };
+        let b = self.cores[costed]
+            .arbiter
+            .effective_cost((elapsed + self.cfg.abort_cleanup) as f64);
         let k_policy = if self.cfg.chain_aware { k } else { 2 };
-        let conflict = Conflict::chain(b.max(1.0), k_policy);
-        let grace = {
-            let policy = Arc::clone(&self.cfg.policy);
-            let rng = &mut self.cores[c].rng;
-            policy.grace(&conflict, rng)
-        };
-        // Clamp to the policy cap and to the simulation horizon (backoff can
-        // inflate B geometrically; a grace period beyond the horizon is
-        // equivalent to "never abort" within this run). Non-finite values
-        // from a buggy policy degrade to an immediate abort.
-        let grace = if grace.is_finite() {
-            grace
-                .clamp(0.0, self.cfg.grace_cap_factor * b)
-                .min(self.cfg.horizon as f64)
-                .round() as u64
-        } else {
-            0
-        };
+        let core = &mut self.cores[c];
+        let grace = core
+            .arbiter
+            .sample(b, k_policy, &mut core.rng)
+            .grace
+            .min(self.cfg.horizon as f64)
+            .round() as u64;
         if grace == 0 {
             match self.cfg.mode {
                 ResolutionMode::RequestorWins => {
                     if victims.iter().all(|&v| self.can_kill(c, v)) {
                         for v in victims {
-                            self.abort_core(v, AbortCause::Conflict);
+                            self.abort_core(v, AbortKind::Conflict);
                         }
                         // The abort sweep may have handed the line to a parked
                         // requestor; re-run the access to re-check conflicts.
@@ -444,11 +439,11 @@ impl Simulator {
                     } else {
                         // A protected slow-path victim holds the line; the
                         // requestor yields instead.
-                        self.abort_core(c, AbortCause::Conflict);
+                        self.abort_core(c, AbortKind::Conflict);
                     }
                 }
                 ResolutionMode::RequestorAborts => {
-                    self.abort_core(c, AbortCause::Conflict);
+                    self.abort_core(c, AbortKind::Conflict);
                 }
             }
             return;
@@ -457,7 +452,7 @@ impl Simulator {
         self.trace(|| {
             format!("core {c} PARK line={a:#x} write={write} victim={primary} grace={grace} k={k}")
         });
-        self.stats.delayed_conflicts += 1;
+        self.stats.global.delayed_conflicts += 1;
         self.next_stamp += 1;
         let req = PendingReq {
             stamp: self.next_stamp,
@@ -543,7 +538,7 @@ impl Simulator {
             Install::CapacityAbort => {
                 // Roll the directory back for the line we failed to install.
                 self.dir.entry_mut(a).remove_core(c);
-                self.abort_core(c, AbortCause::Capacity);
+                self.abort_core(c, AbortKind::Capacity);
                 return;
             }
             Install::Evicted(victim_line) => {
@@ -596,7 +591,7 @@ impl Simulator {
                 }
                 for v in victims {
                     if self.can_kill(req.requestor, v) {
-                        self.abort_core(v, AbortCause::Conflict);
+                        self.abort_core(v, AbortKind::Conflict);
                     }
                 }
                 if self.pending[id].is_some() {
@@ -604,7 +599,7 @@ impl Simulator {
                 }
             }
             ResolutionMode::RequestorAborts => {
-                self.abort_core(req.requestor, AbortCause::Conflict);
+                self.abort_core(req.requestor, AbortKind::Conflict);
             }
         }
     }
@@ -623,32 +618,23 @@ impl Simulator {
             ResolutionMode::RequestorAborts => req.requestor,
         };
         let elapsed = self.now.saturating_sub(self.cores[costed].attempt_start);
-        let raw_b = (elapsed + self.cfg.abort_cleanup) as f64;
-        let b = if self.cfg.backoff {
-            self.cores[costed].backoff.effective_cost(raw_b)
-        } else {
-            raw_b
-        };
+        let b = self.cores[costed]
+            .arbiter
+            .effective_cost((elapsed + self.cfg.abort_cleanup) as f64);
         let k = if self.cfg.chain_aware {
             2 + self.transitive_waiters_on(req.requestor) + self.transitive_waiters_on(primary)
         } else {
             2
         };
-        let conflict = Conflict::chain(b.max(1.0), k);
-        let grace = {
-            let policy = Arc::clone(&self.cfg.policy);
-            let rng = &mut self.cores[req.requestor].rng;
-            policy.grace(&conflict, rng)
-        };
-        let grace = if grace.is_finite() {
-            grace
-                .clamp(0.0, self.cfg.grace_cap_factor * b)
-                .min(self.cfg.horizon as f64)
-                .round()
-                .max(1.0) as u64
-        } else {
-            1
-        };
+        let core = &mut self.cores[req.requestor];
+        // Re-armed deadlines must advance time: floor at 1 cycle.
+        let grace = core
+            .arbiter
+            .sample(b, k, &mut core.rng)
+            .grace
+            .min(self.cfg.horizon as f64)
+            .round()
+            .max(1.0) as u64;
         self.next_stamp += 1;
         let stamp = self.next_stamp;
         let victim_epoch = self.cores[primary].epoch;
@@ -702,9 +688,9 @@ impl Simulator {
         self.cores[r].waiting_req = None;
         self.cores[r].waiting_on = None;
         self.cores[r].attempt_stall += self.now - req.stall_start;
-        self.stats.per_core[r].stall_cycles += self.now - req.stall_start;
+        self.stats.per_thread[r].wait_cycles += self.now - req.stall_start;
         if by_commit {
-            self.stats.saved_by_delay += 1;
+            self.stats.global.saved_by_delay += 1;
         }
         self.perform_miss(r, req.line, req.write, self.now);
     }
@@ -780,7 +766,7 @@ mod tests {
         policy: Arc<dyn tcp_core::policy::GracePolicy>,
         mode: ResolutionMode,
         horizon: u64,
-    ) -> SimStats {
+    ) -> ShardedStats {
         let mut cfg = SimConfig::new(cores, policy);
         cfg.mode = mode;
         cfg.horizon = horizon;
@@ -800,7 +786,7 @@ mod tests {
         );
         assert!(s.commits() > 1000, "commits {}", s.commits());
         assert_eq!(s.aborts(), 0);
-        assert_eq!(s.conflicts, 0);
+        assert_eq!(s.global.conflicts, 0);
     }
 
     #[test]
@@ -813,7 +799,7 @@ mod tests {
         );
         assert!(s.commits() > 0);
         assert!(s.aborts() > 0, "hot stack with 8 threads must conflict");
-        assert!(s.conflicts > 0);
+        assert!(s.global.conflicts > 0);
     }
 
     #[test]
@@ -832,7 +818,7 @@ mod tests {
             nd.commits()
         );
         assert!(
-            rw.saved_by_delay > 0,
+            rw.global.saved_by_delay > 0,
             "some receivers must commit within grace"
         );
     }
@@ -854,8 +840,8 @@ mod tests {
         let b = run_with(6, Arc::new(RandRw), ResolutionMode::RequestorWins, 100_000);
         assert_eq!(a.commits(), b.commits());
         assert_eq!(a.aborts(), b.aborts());
-        assert_eq!(a.conflicts, b.conflicts);
-        assert_eq!(a.stall_cycles(), b.stall_cycles());
+        assert_eq!(a.global.conflicts, b.global.conflicts);
+        assert_eq!(a.wait_cycles(), b.wait_cycles());
     }
 
     #[test]
@@ -879,7 +865,7 @@ mod tests {
         let mut sim = Simulator::new(cfg, Arc::new(StackWorkload::default()));
         sim.run();
         assert!(
-            sim.stats.per_core[0].capacity_aborts > 0,
+            sim.stats.per_thread[0].capacity_aborts > 0,
             "2-line cache must overflow"
         );
     }
@@ -891,7 +877,7 @@ mod tests {
         cfg.max_retries = 2;
         let mut sim = Simulator::new(cfg, Arc::new(StackWorkload::default()));
         sim.run();
-        let fallbacks: u64 = sim.stats.per_core.iter().map(|c| c.fallbacks).sum();
+        let fallbacks: u64 = sim.stats.per_thread.iter().map(|c| c.fallbacks).sum();
         assert!(fallbacks > 0, "with max_retries=2 some core must fall back");
         assert!(sim.stats.commits() > 0);
     }
@@ -902,7 +888,7 @@ mod tests {
         cfg.horizon = 1_000_000;
         let mut sim = Simulator::new(cfg, Arc::new(StackWorkload::default()));
         sim.run();
-        for (i, c) in sim.stats.per_core.iter().enumerate() {
+        for (i, c) in sim.stats.per_thread.iter().enumerate() {
             assert!(c.commits > 0, "core {i} starved: {c:?}");
         }
     }
@@ -931,7 +917,7 @@ mod tests {
             cfg.horizon = 300_000;
             let mut sim = Simulator::new(cfg, w);
             sim.run();
-            sim.stats.conflicts as f64 / sim.stats.commits() as f64
+            sim.stats.global.conflicts as f64 / sim.stats.commits() as f64
         };
         let stack = mk(Arc::new(StackWorkload::default()));
         let txapp = mk(Arc::new(TxAppWorkload::default()));
@@ -950,11 +936,11 @@ mod tests {
         cfg.horizon = 300_000;
         let mut sim = Simulator::new(cfg, Arc::new(StackWorkload::default()));
         sim.run();
-        let long_chains: u64 = sim.stats.chain_hist[3..].iter().sum();
+        let long_chains: u64 = sim.stats.global.chain_hist[3..].iter().sum();
         assert!(
             long_chains > 0,
             "16 threads on one hotspot with long delays must form chains: {:?}",
-            sim.stats.chain_hist
+            sim.stats.global.chain_hist
         );
     }
 
@@ -966,9 +952,9 @@ mod tests {
             ResolutionMode::RequestorWins,
             200_000,
         );
-        assert_eq!(nd.stall_cycles(), 0, "NO_DELAY never parks a request");
+        assert_eq!(nd.wait_cycles(), 0, "NO_DELAY never parks a request");
         let det = run_with(8, Arc::new(DetRw), ResolutionMode::RequestorWins, 200_000);
-        assert!(det.stall_cycles() > 0);
+        assert!(det.wait_cycles() > 0);
     }
 
     #[test]

@@ -8,9 +8,10 @@ use tcp_core::policy::{GracePolicy, HandTuned, NoDelay};
 use tcp_core::randomized::RandRw;
 use tcp_workloads::programs::WorkloadGen;
 
+use tcp_core::engine::ShardedStats;
+
 use crate::config::SimConfig;
 use crate::sim::Simulator;
-use crate::stats::SimStats;
 
 /// One point of a throughput curve.
 #[derive(Clone, Debug)]
@@ -18,7 +19,7 @@ pub struct SweepPoint {
     pub threads: usize,
     pub ops_per_sec: f64,
     pub abort_ratio: f64,
-    pub stats: SimStats,
+    pub stats: ShardedStats,
 }
 
 /// A named strategy arm of Figure 3.

@@ -23,7 +23,7 @@
 //! let problem = SkiRental::new(100.0);
 //! let mut rng = Xoshiro256StarStar::new(1);
 //! let report = simulate(&problem, &ContinuousExp, &FixedSeason(60.0), 10_000, &mut rng);
-//! assert!(report.cost_ratio < 1.65); // ≤ e/(e−1) + noise
+//! assert!(report.cost_ratio() < 1.65); // ≤ e/(e−1) + noise
 //! ```
 
 pub mod problem;
@@ -33,9 +33,10 @@ pub mod strategy;
 pub mod prelude {
     pub use crate::problem::{from_conflict, SkiRental};
     pub use crate::simulate::{
-        simulate, FixedSeason, JustAfterBuy, RandomSeason, RentalReport, SeasonAdversary,
+        simulate, FixedSeason, JustAfterBuy, RandomSeason, SeasonAdversary,
     };
     pub use crate::strategy::{
-        BuyAtB, ContinuousExp, KarlinDiscrete, MeanConstrained, RentalStrategy,
+        ArbiterRental, BuyAtB, ContinuousExp, KarlinDiscrete, MeanConstrained, RentalStrategy,
     };
+    pub use tcp_core::engine::EngineStats;
 }

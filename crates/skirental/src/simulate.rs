@@ -1,6 +1,7 @@
 //! Monte-Carlo evaluation of rental strategies against adversaries.
 
 use rand::RngCore;
+use tcp_core::engine::{AbortKind, EngineStats};
 
 use crate::problem::SkiRental;
 use crate::strategy::RentalStrategy;
@@ -54,47 +55,31 @@ impl<F: Fn(&mut dyn RngCore) -> f64 + Send + Sync> SeasonAdversary for RandomSea
     }
 }
 
-/// Aggregate outcome of a simulation run.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct RentalReport {
-    pub trials: usize,
-    pub mean_cost: f64,
-    pub mean_opt: f64,
-    /// Ratio of means E[cost]/E[OPT] — the throughput-style metric.
-    pub cost_ratio: f64,
-    /// Mean of per-trial ratios E[cost/OPT] — the per-instance metric.
-    pub mean_ratio: f64,
-}
-
 /// Run `trials` independent seasons of strategy `s` against adversary `a`
-/// in the continuous model.
+/// in the continuous model. Mean cost / OPT / ratio-of-means /
+/// mean-of-ratios come out of the returned
+/// [`EngineStats`](tcp_core::engine::EngineStats) accessors; a season that
+/// outlasts the buy time counts as an abort (the skis were bought), one
+/// that ends first as a commit.
 pub fn simulate(
     p: &SkiRental,
     s: &dyn RentalStrategy,
     a: &dyn SeasonAdversary,
     trials: usize,
     rng: &mut dyn RngCore,
-) -> RentalReport {
-    let mut sum_cost = 0.0;
-    let mut sum_opt = 0.0;
-    let mut sum_ratio = 0.0;
+) -> EngineStats {
+    let mut stats = EngineStats::default();
     for _ in 0..trials {
         let d = a.season(p, rng).max(f64::MIN_POSITIVE);
         let x = s.buy_time(p, rng);
-        let cost = p.cost_continuous(d, x);
-        let opt = p.opt(d);
-        sum_cost += cost;
-        sum_opt += opt;
-        sum_ratio += cost / opt;
+        stats.record_trial(p.cost_continuous(d, x), p.opt(d));
+        if d < x {
+            stats.commits += 1;
+        } else {
+            stats.record_abort(AbortKind::Conflict, 0);
+        }
     }
-    let n = trials as f64;
-    RentalReport {
-        trials,
-        mean_cost: sum_cost / n,
-        mean_opt: sum_opt / n,
-        cost_ratio: sum_cost / sum_opt,
-        mean_ratio: sum_ratio / n,
-    }
+    stats
 }
 
 #[cfg(test)]
@@ -114,9 +99,9 @@ mod tests {
         for d in [10.0, 50.0, 99.0, 100.0, 500.0] {
             let r = simulate(&p, &ContinuousExp, &FixedSeason(d), 120_000, &mut rng);
             assert!(
-                r.cost_ratio <= bound + 0.02,
+                r.cost_ratio() <= bound + 0.02,
                 "D={d}: ratio {} exceeds {bound}",
-                r.cost_ratio
+                r.cost_ratio()
             );
         }
     }
@@ -127,7 +112,7 @@ mod tests {
         let mut rng = Xoshiro256StarStar::new(6);
         let r = simulate(&p, &BuyAtB, &JustAfterBuy, 100, &mut rng);
         // D = B = x: continuous cost = x + B = 2B, OPT = B.
-        assert!((r.cost_ratio - 2.0).abs() < 1e-9);
+        assert!((r.cost_ratio() - 2.0).abs() < 1e-9);
     }
 
     #[test]
@@ -143,10 +128,10 @@ mod tests {
         let constrained = simulate(&p, &MeanConstrained::new(mu), &adv, 200_000, &mut rng);
         let unconstrained = simulate(&p, &ContinuousExp, &adv, 200_000, &mut rng);
         assert!(
-            constrained.cost_ratio < unconstrained.cost_ratio,
+            constrained.cost_ratio() < unconstrained.cost_ratio(),
             "constrained {} vs unconstrained {}",
-            constrained.cost_ratio,
-            unconstrained.cost_ratio
+            constrained.cost_ratio(),
+            unconstrained.cost_ratio()
         );
     }
 }

@@ -1,8 +1,10 @@
 //! Online strategies for ski rental: when to stop renting and buy.
 
 use rand::RngCore;
+use tcp_core::engine::ConflictArbiter;
 use tcp_core::pdf::GracePdf;
 use tcp_core::pdfs::{RaMeanPdf, RaUnconstrainedPdf};
+use tcp_core::policy::GracePolicy;
 use tcp_core::rng::uniform01;
 
 use crate::problem::SkiRental;
@@ -158,6 +160,37 @@ impl RentalStrategy for MeanConstrained {
         } else {
             Some(e / (e - 1.0))
         }
+    }
+}
+
+/// Bridge from the engine layer: run any [`GracePolicy`] on the ski-rental
+/// substrate through a [`ConflictArbiter`]. The §4.2 mapping is exact —
+/// buying the skis is aborting the requestor, so the buy time *is* the
+/// grace period the arbiter samples for the equivalent pair conflict
+/// (`B = buy_cost`, `k = 2`), with the arbiter's sanitization applied.
+pub struct ArbiterRental<P> {
+    pub arbiter: ConflictArbiter<P>,
+}
+
+impl<P: GracePolicy> ArbiterRental<P> {
+    pub fn new(policy: P) -> Self {
+        // Isolated one-shot conflicts: no §7 backoff across trials.
+        Self {
+            arbiter: ConflictArbiter::new(policy).with_backoff(false),
+        }
+    }
+}
+
+impl<P: GracePolicy> RentalStrategy for ArbiterRental<P> {
+    fn buy_time(&self, p: &SkiRental, rng: &mut dyn RngCore) -> f64 {
+        self.arbiter.sample(p.buy_cost, 2, rng).grace
+    }
+    fn name(&self) -> String {
+        self.arbiter.policy().name()
+    }
+    fn ratio(&self, p: &SkiRental) -> Option<f64> {
+        let c = tcp_core::conflict::Conflict::pair(p.buy_cost);
+        self.arbiter.policy().competitive_ratio(&c)
     }
 }
 

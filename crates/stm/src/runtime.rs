@@ -21,9 +21,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Instant;
 
 use rand::RngCore;
-use tcp_core::conflict::{Conflict, ResolutionMode};
+use tcp_core::conflict::ResolutionMode;
+use tcp_core::engine::{AbortKind, ConflictArbiter, EngineStats};
 use tcp_core::policy::GracePolicy;
-use tcp_core::progress::BackoffState;
 
 /// Word addresses within an [`Stm`] heap.
 pub type Addr = usize;
@@ -39,25 +39,30 @@ pub enum Abort {
     RemoteKill,
 }
 
-/// Per-thread statistics.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct ThreadStats {
-    pub commits: u64,
-    pub aborts: u64,
-    pub validation_aborts: u64,
-    pub conflict_aborts: u64,
-    pub remote_kills: u64,
-    /// Nanoseconds spent waiting out grace periods.
-    pub wait_ns: u64,
+impl From<Abort> for AbortKind {
+    fn from(a: Abort) -> Self {
+        match a {
+            Abort::Validation => AbortKind::Validation,
+            Abort::Conflict => AbortKind::Conflict,
+            Abort::RemoteKill => AbortKind::RemoteKill,
+        }
+    }
 }
 
 const LOCK_BIT: u64 = 1 << 63;
-/// Owner id occupies bits 48..63 (16 bits, up to 65k threads).
+/// Owner id occupies bits 48..62 — 15 bits, up to 32k threads. Bit 63 is
+/// [`LOCK_BIT`], so the owner field must stay clear of it: packing the
+/// maximal owner id must not read back as an unlocked word.
 const OWNER_SHIFT: u32 = 48;
+const OWNER_BITS: u32 = 15;
+const OWNER_MASK: u64 = ((1 << OWNER_BITS) - 1) << OWNER_SHIFT;
+/// Largest packable owner id (inclusive).
+pub(crate) const MAX_OWNER: usize = (1 << OWNER_BITS) - 1;
 const VERSION_MASK: u64 = (1 << OWNER_SHIFT) - 1;
 
 #[inline]
 fn pack_locked(owner: usize) -> u64 {
+    debug_assert!(owner <= MAX_OWNER, "owner id exceeds the 15-bit field");
     LOCK_BIT | ((owner as u64) << OWNER_SHIFT)
 }
 
@@ -68,7 +73,7 @@ fn is_locked(meta: u64) -> bool {
 
 #[inline]
 fn owner_of(meta: u64) -> usize {
-    ((meta & !LOCK_BIT) >> OWNER_SHIFT) as usize
+    ((meta & OWNER_MASK) >> OWNER_SHIFT) as usize
 }
 
 #[inline]
@@ -96,7 +101,7 @@ impl Stm {
     /// A heap of `words` zero-initialized words supporting up to
     /// `max_threads` concurrent transaction contexts.
     pub fn new(words: usize, max_threads: usize) -> Self {
-        assert!(max_threads < (1 << 15));
+        assert!(max_threads <= MAX_OWNER + 1, "thread ids must pack into the owner field");
         Self {
             cells: (0..words)
                 .map(|_| Cell {
@@ -141,10 +146,10 @@ impl Stm {
 pub struct TxCtx<'s, P: GracePolicy> {
     stm: &'s Stm,
     pub id: usize,
-    policy: P,
+    /// The shared engine-layer consultation loop: policy + §7 backoff.
+    pub arbiter: ConflictArbiter<P>,
     rng: Box<dyn RngCore + Send>,
-    pub stats: ThreadStats,
-    backoff: BackoffState,
+    pub stats: EngineStats,
     /// Fixed component of the abort cost, in nanoseconds (models the
     /// restart overhead; the elapsed running time is added per conflict).
     pub cleanup_ns: f64,
@@ -165,10 +170,9 @@ impl<'s, P: GracePolicy> TxCtx<'s, P> {
         Self {
             stm,
             id,
-            policy,
+            arbiter: ConflictArbiter::new(policy),
             rng,
-            stats: ThreadStats::default(),
-            backoff: BackoffState::default(),
+            stats: EngineStats::default(),
             cleanup_ns: 500.0,
         }
     }
@@ -189,17 +193,12 @@ impl<'s, P: GracePolicy> TxCtx<'s, P> {
             match body(&mut tx).and_then(|v| tx.commit().map(|_| v)) {
                 Ok(v) => {
                     self.stats.commits += 1;
-                    self.backoff.reset();
+                    self.arbiter.on_commit();
                     return v;
                 }
                 Err(a) => {
-                    self.stats.aborts += 1;
-                    self.backoff.bump();
-                    match a {
-                        Abort::Validation => self.stats.validation_aborts += 1,
-                        Abort::Conflict => self.stats.conflict_aborts += 1,
-                        Abort::RemoteKill => self.stats.remote_kills += 1,
-                    }
+                    self.stats.record_abort(a.into(), 0);
+                    self.arbiter.on_abort();
                     std::hint::spin_loop();
                 }
             }
@@ -226,31 +225,27 @@ impl<'s, P: GracePolicy> Tx<'_, 's, P> {
         // Abort cost of the side that would die: in requestor-aborts, us;
         // in requestor-wins we cannot observe the owner's elapsed time
         // locally, so our own serves as the proxy (both sides run the same
-        // workload — documented simplification).
-        let b = self
-            .ctx
-            .backoff
-            .effective_cost(self.elapsed_ns() + self.ctx.cleanup_ns)
-            .max(1.0);
-        let conflict = Conflict::chain(b, 2);
-        let grace = self.ctx.policy.grace(&conflict, &mut self.ctx.rng);
-        // A buggy policy returning NaN/∞/negative degrades to an immediate
-        // resolution rather than unbounded waiting.
-        let grace = if grace.is_finite() { grace.max(0.0) } else { 0.0 };
-        let deadline = self.start.elapsed().as_nanos() as f64 + grace;
+        // workload — documented simplification). The arbiter inflates it
+        // by §7 backoff and sanitizes the sampled grace.
+        let decision = self.ctx.arbiter.decide(
+            self.elapsed_ns() + self.ctx.cleanup_ns,
+            2,
+            &mut self.ctx.rng,
+        );
+        let deadline = self.start.elapsed().as_nanos() as f64 + decision.grace;
         let wait_start = Instant::now();
         loop {
             let meta = stm.cells[a].meta.load(Ordering::SeqCst);
             if !is_locked(meta) {
-                self.ctx.stats.wait_ns += wait_start.elapsed().as_nanos() as u64;
+                self.ctx.stats.wait_cycles += wait_start.elapsed().as_nanos() as u64;
                 return Ok(());
             }
             if self.killed() {
-                self.ctx.stats.wait_ns += wait_start.elapsed().as_nanos() as u64;
+                self.ctx.stats.wait_cycles += wait_start.elapsed().as_nanos() as u64;
                 return Err(Abort::RemoteKill);
             }
             if self.start.elapsed().as_nanos() as f64 >= deadline {
-                self.ctx.stats.wait_ns += wait_start.elapsed().as_nanos() as u64;
+                self.ctx.stats.wait_cycles += wait_start.elapsed().as_nanos() as u64;
                 return match stm.mode {
                     ResolutionMode::RequestorAborts => Err(Abort::Conflict),
                     ResolutionMode::RequestorWins => {
@@ -578,5 +573,22 @@ mod tests {
         assert_eq!(owner_of(m), 1234);
         assert!(!is_locked(42));
         assert_eq!(version_of(42), 42);
+    }
+
+    #[test]
+    fn max_owner_id_does_not_clobber_the_lock_bit() {
+        // The owner field is 15 bits (48..62); bit 63 is the lock bit. A
+        // 16-bit owner field would let owner ids >= 2^15 flip the lock bit
+        // and corrupt every is_locked/owner_of/version_of read.
+        let m = pack_locked(MAX_OWNER);
+        assert!(is_locked(m), "packing the max owner must stay locked");
+        assert_eq!(owner_of(m), MAX_OWNER);
+        assert_eq!(version_of(m), 0, "owner bits must not leak into version");
+        // The full round trip at every field boundary.
+        for owner in [0, 1, MAX_OWNER / 2, MAX_OWNER - 1, MAX_OWNER] {
+            let m = pack_locked(owner);
+            assert!(is_locked(m));
+            assert_eq!(owner_of(m), owner);
+        }
     }
 }

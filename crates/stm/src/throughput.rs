@@ -7,10 +7,11 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use tcp_core::engine::{EngineStats, SeedFanout};
 use tcp_core::policy::GracePolicy;
-use tcp_core::rng::{uniform_u64_below, Xoshiro256StarStar};
+use tcp_core::rng::uniform_u64_below;
 
-use crate::runtime::{Stm, ThreadStats, TxCtx};
+use crate::runtime::{Stm, TxCtx};
 use crate::structures::TStack;
 
 /// Outcome of one throughput measurement.
@@ -41,20 +42,16 @@ pub fn stack_throughput<P: GracePolicy + Clone>(
     let st = TStack::new(0, cap);
     let stop = Arc::new(AtomicBool::new(false));
     let start = Instant::now();
-    let mut totals: Vec<ThreadStats> = Vec::new();
+    let mut totals = EngineStats::default();
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
-            .map(|id| {
+            .zip(SeedFanout::streams(seed, threads))
+            .map(|(id, rng)| {
                 let stm = Arc::clone(&stm);
                 let stop = Arc::clone(&stop);
                 let policy = policy.clone();
                 s.spawn(move || {
-                    let mut t = TxCtx::new(
-                        &stm,
-                        id,
-                        policy,
-                        Box::new(Xoshiro256StarStar::new(seed ^ (id as u64 + 1))),
-                    );
+                    let mut t = TxCtx::new(&stm, id, policy, Box::new(rng));
                     let mut i = 0u64;
                     while !stop.load(Ordering::Relaxed) {
                         if i.is_multiple_of(2) {
@@ -71,15 +68,15 @@ pub fn stack_throughput<P: GracePolicy + Clone>(
         std::thread::sleep(dur);
         stop.store(true, Ordering::Relaxed);
         for h in handles {
-            totals.push(h.join().expect("worker panicked"));
+            totals.merge(&h.join().expect("worker panicked"));
         }
     });
     let wall_ns = start.elapsed().as_nanos() as u64;
     Throughput {
         threads,
-        ops: totals.iter().map(|t| t.commits).sum(),
+        ops: totals.commits,
         wall_ns,
-        aborts: totals.iter().map(|t| t.aborts).sum(),
+        aborts: totals.aborts,
     }
 }
 
@@ -95,21 +92,20 @@ pub fn txapp_throughput<P: GracePolicy + Clone>(
     let stm = Arc::new(Stm::new(objects as usize, threads));
     let stop = Arc::new(AtomicBool::new(false));
     let start = Instant::now();
-    let mut totals: Vec<ThreadStats> = Vec::new();
+    let mut totals = EngineStats::default();
+    // Two independent substreams per thread: one drives the policy, one
+    // picks the objects each transaction touches.
+    let mut fan = SeedFanout::new(seed);
+    let rngs: Vec<_> = (0..threads).map(|_| (fan.stream(), fan.stream())).collect();
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
-            .map(|id| {
+            .zip(rngs)
+            .map(|(id, (policy_rng, mut pick))| {
                 let stm = Arc::clone(&stm);
                 let stop = Arc::clone(&stop);
                 let policy = policy.clone();
                 s.spawn(move || {
-                    let mut pick = Xoshiro256StarStar::new(seed ^ (id as u64 + 0x100));
-                    let mut t = TxCtx::new(
-                        &stm,
-                        id,
-                        policy,
-                        Box::new(Xoshiro256StarStar::new(seed ^ (id as u64 + 1))),
-                    );
+                    let mut t = TxCtx::new(&stm, id, policy, Box::new(policy_rng));
                     while !stop.load(Ordering::Relaxed) {
                         let a = uniform_u64_below(&mut pick, objects) as usize;
                         let mut b = uniform_u64_below(&mut pick, objects - 1) as usize;
@@ -130,15 +126,15 @@ pub fn txapp_throughput<P: GracePolicy + Clone>(
         std::thread::sleep(dur);
         stop.store(true, Ordering::Relaxed);
         for h in handles {
-            totals.push(h.join().expect("worker panicked"));
+            totals.merge(&h.join().expect("worker panicked"));
         }
     });
     let wall_ns = start.elapsed().as_nanos() as u64;
     Throughput {
         threads,
-        ops: totals.iter().map(|t| t.commits).sum(),
+        ops: totals.commits,
         wall_ns,
-        aborts: totals.iter().map(|t| t.aborts).sum(),
+        aborts: totals.aborts,
     }
 }
 

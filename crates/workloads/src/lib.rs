@@ -26,6 +26,6 @@ pub mod prelude {
         SkewedTxAppWorkload, StackWorkload, TxAppWorkload, TxnProgram, WorkloadGen,
     };
     pub use crate::synthetic::{
-        det_worst_case_remaining, run_synthetic, RemainingTime, SyntheticConfig, SyntheticReport,
+        det_worst_case_remaining, run_synthetic, RemainingTime, SyntheticConfig,
     };
 }

@@ -7,7 +7,8 @@
 //! over many trials reproduces the bars of Figures 2a–2c.
 
 use rand::RngCore;
-use tcp_core::conflict::{conflict_cost, offline_opt, Conflict};
+use tcp_core::conflict::{conflict_cost, offline_opt};
+use tcp_core::engine::{AbortKind, ConflictArbiter, EngineStats};
 use tcp_core::policy::GracePolicy;
 use tcp_core::rng::{uniform01, Xoshiro256StarStar};
 
@@ -48,20 +49,6 @@ impl SyntheticConfig {
     }
 }
 
-/// Averaged outcome of one (distribution, strategy) cell.
-#[derive(Clone, Copy, Debug)]
-pub struct SyntheticReport {
-    pub trials: usize,
-    /// Mean conflict cost of the strategy — the y-axis of Figure 2.
-    pub mean_cost: f64,
-    /// Mean offline-optimal cost (the `OPT` bar).
-    pub mean_opt: f64,
-    /// `mean_cost / mean_opt`.
-    pub ratio: f64,
-    /// Fraction of conflicts that ended in an abort.
-    pub abort_rate: f64,
-}
-
 /// How the remaining time `D` of the interrupted transaction is produced.
 pub enum RemainingTime<'a> {
     /// The paper's §8.1 procedure: `D = r − i`, `r ~ dist`, `i ~ U[0, r]`.
@@ -85,35 +72,32 @@ impl RemainingTime<'_> {
 }
 
 /// Run one cell of Figure 2: `trials` conflicts of strategy `policy`
-/// against remaining times drawn from `remaining`.
+/// against remaining times drawn from `remaining`. Mean cost / OPT /
+/// ratio / abort rate come out of the returned
+/// [`EngineStats`](tcp_core::engine::EngineStats) accessors.
 pub fn run_synthetic(
     cfg: &SyntheticConfig,
     remaining: &RemainingTime<'_>,
     policy: &dyn GracePolicy,
-) -> SyntheticReport {
+) -> EngineStats {
     let mut rng = Xoshiro256StarStar::new(cfg.seed);
-    let c = Conflict::chain(cfg.abort_cost, cfg.chain);
-    let mut sum_cost = 0.0;
-    let mut sum_opt = 0.0;
-    let mut aborts = 0usize;
+    // One isolated conflict per trial: no §7 backoff, no cap — the policy's
+    // raw answer (sanitized) is what Figure 2 measures.
+    let arbiter = ConflictArbiter::new(policy).with_backoff(false);
+    let mut stats = EngineStats::default();
     for _ in 0..cfg.trials {
         let d = remaining.draw(&mut rng);
-        let x = policy.grace(&c, &mut rng);
-        let mode = policy.mode(&c);
-        sum_cost += conflict_cost(mode, &c, d, x);
-        sum_opt += offline_opt(mode, &c, d);
+        let decision = arbiter.sample(cfg.abort_cost, cfg.chain, &mut rng);
+        let (c, x) = (decision.conflict, decision.grace);
+        let mode = arbiter.mode(&c);
+        stats.record_trial(conflict_cost(mode, &c, d, x), offline_opt(mode, &c, d));
         if d > x {
-            aborts += 1;
+            stats.record_abort(AbortKind::Conflict, 0);
+        } else {
+            stats.commits += 1;
         }
     }
-    let n = cfg.trials as f64;
-    SyntheticReport {
-        trials: cfg.trials,
-        mean_cost: sum_cost / n,
-        mean_opt: sum_opt / n,
-        ratio: sum_cost / sum_opt,
-        abort_rate: aborts as f64 / n,
-    }
+    stats
 }
 
 /// The worst-case remaining time for the deterministic requestor-wins
@@ -147,8 +131,8 @@ mod tests {
         let dist = Exponential::with_mean(500.0);
         let rem = RemainingTime::FromLengths(&dist);
         let det = run_synthetic(&cfg, &rem, &DetRw);
-        assert!(det.ratio < 1.1, "DET ratio {} should be near 1", det.ratio);
-        assert!(det.abort_rate < 0.03, "abort rate {}", det.abort_rate);
+        assert!(det.cost_ratio() < 1.1, "DET ratio {} should be near 1", det.cost_ratio());
+        assert!(det.abort_rate() < 0.03, "abort rate {}", det.abort_rate());
     }
 
     #[test]
@@ -161,11 +145,11 @@ mod tests {
         let rem = RemainingTime::FromLengths(&dist);
         let rrw = run_synthetic(&cfg, &rem, &RandRw);
         let rra = run_synthetic(&cfg, &rem, &RandRa);
-        assert!(rrw.ratio <= 2.02, "RRW {}", rrw.ratio);
-        assert!(rra.ratio <= 1.60, "RRA {}", rra.ratio);
-        assert!(rrw.ratio >= 1.0 && rra.ratio >= 1.0);
+        assert!(rrw.cost_ratio() <= 2.02, "RRW {}", rrw.cost_ratio());
+        assert!(rra.cost_ratio() <= 1.60, "RRA {}", rra.cost_ratio());
+        assert!(rrw.cost_ratio() >= 1.0 && rra.cost_ratio() >= 1.0);
         // And RA beats RW at k = 2 (§5.3).
-        assert!(rra.mean_cost < rrw.mean_cost);
+        assert!(rra.mean_cost() < rrw.mean_cost());
     }
 
     #[test]
@@ -179,16 +163,16 @@ mod tests {
         let rra = run_synthetic(&cfg, &rem, &RandRa);
         let rram = run_synthetic(&cfg, &rem, &RandRaMean::new(500.0));
         assert!(
-            rrwm.mean_cost < rrw.mean_cost,
+            rrwm.mean_cost() < rrw.mean_cost(),
             "{} !< {}",
-            rrwm.mean_cost,
-            rrw.mean_cost
+            rrwm.mean_cost(),
+            rrw.mean_cost()
         );
         assert!(
-            rram.mean_cost < rra.mean_cost,
+            rram.mean_cost() < rra.mean_cost(),
             "{} !< {}",
-            rram.mean_cost,
-            rra.mean_cost
+            rram.mean_cost(),
+            rra.mean_cost()
         );
     }
 
@@ -199,8 +183,8 @@ mod tests {
         let dist = Uniform::with_mean(500.0);
         let rem = RemainingTime::FromLengths(&dist);
         let nd = run_synthetic(&cfg, &rem, &NoDelay::requestor_wins());
-        assert!((nd.mean_cost - cfg.abort_cost).abs() < 1e-9);
-        assert!((nd.abort_rate - 1.0).abs() < 1e-12);
+        assert!((nd.mean_cost() - cfg.abort_cost).abs() < 1e-9);
+        assert!((nd.abort_rate() - 1.0).abs() < 1e-12);
     }
 
     #[test]
@@ -212,14 +196,14 @@ mod tests {
         let rem = RemainingTime::Fixed(d);
         let det = run_synthetic(&cfg, &rem, &DetRw);
         assert!(
-            (det.ratio - 3.0).abs() < 0.01,
+            (det.cost_ratio() - 3.0).abs() < 0.01,
             "DET worst-case ratio {}",
-            det.ratio
+            det.cost_ratio()
         );
         // while the randomized strategy stays at ~1.5 against that D
         // (its worst case is spread over all D, cf. equalizing property)
         let rrw = run_synthetic(&cfg, &rem, &RandRw);
-        assert!(rrw.ratio <= 2.02, "RRW {}", rrw.ratio);
+        assert!(rrw.cost_ratio() <= 2.02, "RRW {}", rrw.cost_ratio());
     }
 
     #[test]
@@ -229,7 +213,7 @@ mod tests {
         let rem = RemainingTime::FromLengths(&dist);
         let a = run_synthetic(&cfg, &rem, &RandRw);
         let b = run_synthetic(&cfg, &rem, &RandRw);
-        assert_eq!(a.mean_cost, b.mean_cost);
-        assert_eq!(a.abort_rate, b.abort_rate);
+        assert_eq!(a.mean_cost(), b.mean_cost());
+        assert_eq!(a.abort_rate(), b.abort_rate());
     }
 }

@@ -37,8 +37,8 @@ fn main() {
                 arm.label,
                 s.ops_per_second(1.0),
                 s.aborts(),
-                s.conflicts,
-                s.saved_by_delay
+                s.global.conflicts,
+                s.global.saved_by_delay
             );
         }
         println!();

@@ -99,9 +99,9 @@ fn main() {
         println!(
             "  {:10}  cost = {:7.1}  (ratio to OPT: {:.3}, abort rate {:.2})",
             policy.name(),
-            r.mean_cost,
-            r.ratio,
-            r.abort_rate
+            r.mean_cost(),
+            r.cost_ratio(),
+            r.abort_rate()
         );
     }
 }

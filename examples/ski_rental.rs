@@ -16,7 +16,7 @@ fn main() {
     let r = simulate(&problem, &BuyAtB, &JustAfterBuy, 1_000, &mut rng);
     println!(
         "  BuyAtB vs worst case: ratio {:.3} (theory: 2)",
-        r.cost_ratio
+        r.cost_ratio()
     );
 
     // Karlin's randomized distribution: e/(e-1) ≈ 1.582.
@@ -24,7 +24,7 @@ fn main() {
         let r = simulate(&problem, &ContinuousExp, &FixedSeason(d), 200_000, &mut rng);
         println!(
             "  EXP vs D = {d:5.0}: ratio {:.3} (theory: <= {:.3})",
-            r.cost_ratio,
+            r.cost_ratio(),
             std::f64::consts::E / (std::f64::consts::E - 1.0)
         );
     }
@@ -45,7 +45,7 @@ fn main() {
     let unc = simulate(&problem, &ContinuousExp, &honest, 200_000, &mut rng);
     println!(
         "  mean-aware vs exp({mu}) seasons: {:.3} (unconstrained: {:.3})",
-        con.cost_ratio, unc.cost_ratio
+        con.cost_ratio(), unc.cost_ratio()
     );
 
     // The mapping to transactional conflicts: a requestor-aborts conflict

@@ -69,7 +69,7 @@ fn one_policy_many_substrates() {
     };
     let lens = Uniform::with_mean(50.0);
     let r = run_synthetic(&cfg, &RemainingTime::FromLengths(&lens), &policy);
-    assert!(r.ratio < rand_ra_ratio(2) + 0.05);
+    assert!(r.cost_ratio() < rand_ra_ratio(2) + 0.05);
 }
 
 /// Determinism across the whole stack: same seed, same numbers.
@@ -81,7 +81,7 @@ fn full_stack_determinism() {
         cfg.seed = 99;
         let mut sim = Simulator::new(cfg, Arc::new(TxAppWorkload::default()));
         sim.run();
-        (sim.stats.commits(), sim.stats.aborts(), sim.stats.conflicts)
+        (sim.stats.commits(), sim.stats.aborts(), sim.stats.global.conflicts)
     };
     assert_eq!(run(), run());
 }
@@ -124,8 +124,8 @@ fn mode_comparison_and_hybrid() {
     let rw = run_synthetic(&cfg, &rem, &RandRw);
     let ra = run_synthetic(&cfg, &rem, &RandRa);
     let hy = run_synthetic(&cfg, &rem, &Hybrid::new(None));
-    assert!(ra.mean_cost < rw.mean_cost);
-    assert!(hy.mean_cost <= ra.mean_cost * 1.02);
+    assert!(ra.mean_cost() < rw.mean_cost());
+    assert!(hy.mean_cost() <= ra.mean_cost() * 1.02);
 }
 
 /// Chain conflicts flip the comparison: requestor wins has the better

@@ -22,7 +22,7 @@ impl GracePolicy for MaliciousPolicy {
     }
 }
 
-fn run_sim(policy: Arc<dyn GracePolicy>, programs: Vec<TxnProgram>, cores: usize) -> SimStats {
+fn run_sim(policy: Arc<dyn GracePolicy>, programs: Vec<TxnProgram>, cores: usize) -> ShardedStats {
     let mut cfg = SimConfig::new(cores, policy);
     cfg.horizon = 100_000;
     let mut sim = Simulator::new(cfg, Arc::new(FixedProgramsWorkload::new(programs)));

@@ -214,7 +214,7 @@ mod sim_properties {
                 cfg.seed = seed;
                 let mut sim = Simulator::new(cfg, w);
                 sim.run();
-                (sim.stats.commits(), sim.stats.aborts(), sim.stats.conflicts)
+                (sim.stats.commits(), sim.stats.aborts(), sim.stats.global.conflicts)
             };
             prop_assert_eq!(run(), run());
         }
