@@ -38,7 +38,8 @@ fn main() {
                 let mean_k: f64 = if total_chains == 0 {
                     0.0
                 } else {
-                    s.global.chain_hist
+                    s.global
+                        .chain_hist
                         .iter()
                         .enumerate()
                         .map(|(k, &n)| k as f64 * n as f64)

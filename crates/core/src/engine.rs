@@ -477,18 +477,22 @@ mod tests {
 
     #[test]
     fn stats_merge_sums_and_saturates() {
-        let mut a = EngineStats::default();
-        a.commits = 30;
+        let mut a = EngineStats {
+            commits: 30,
+            cycles: 1000,
+            ..Default::default()
+        };
         a.record_abort(AbortKind::Conflict, 100);
         a.record_chain(2);
-        a.cycles = 1000;
-        let mut b = EngineStats::default();
-        b.commits = 20;
+        let mut b = EngineStats {
+            commits: 20,
+            cycles: 1000,
+            ..Default::default()
+        };
         b.record_abort(AbortKind::Capacity, 50);
         b.record_abort(AbortKind::CycleBreak, 25);
         b.record_chain(2);
         b.record_chain(40);
-        b.cycles = 1000;
         a.merge(&b);
         assert_eq!(a.commits, 50);
         assert_eq!(a.aborts, 3);
@@ -529,8 +533,10 @@ mod tests {
 
     #[test]
     fn latency_percentiles() {
-        let mut s = EngineStats::default();
-        s.latencies = (1..=100).rev().collect();
+        let mut s = EngineStats {
+            latencies: (1..=100).rev().collect(),
+            ..Default::default()
+        };
         assert_eq!(s.latency_percentile(0.0), 1);
         assert_eq!(s.latency_percentile(50.0), 51);
         assert_eq!(s.latency_percentile(100.0), 100);
@@ -567,10 +573,7 @@ mod tests {
             }
         }
         let streams = SeedFanout::streams(7, 3);
-        let mut outs: Vec<u64> = streams
-            .into_iter()
-            .map(|mut s| s.next_u64())
-            .collect();
+        let mut outs: Vec<u64> = streams.into_iter().map(|mut s| s.next_u64()).collect();
         outs.dedup();
         assert_eq!(outs.len(), 3, "substreams must differ");
     }

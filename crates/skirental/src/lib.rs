@@ -32,9 +32,7 @@ pub mod strategy;
 
 pub mod prelude {
     pub use crate::problem::{from_conflict, SkiRental};
-    pub use crate::simulate::{
-        simulate, FixedSeason, JustAfterBuy, RandomSeason, SeasonAdversary,
-    };
+    pub use crate::simulate::{simulate, FixedSeason, JustAfterBuy, RandomSeason, SeasonAdversary};
     pub use crate::strategy::{
         ArbiterRental, BuyAtB, ContinuousExp, KarlinDiscrete, MeanConstrained, RentalStrategy,
     };

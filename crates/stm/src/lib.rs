@@ -40,9 +40,9 @@ pub mod throughput;
 pub mod prelude {
     pub use crate::lockfree::{MsQueue, TreiberStack};
     pub use crate::runtime::{Abort, Addr, Stm, Tx, TxCtx};
-    pub use tcp_core::engine::EngineStats;
     pub use crate::structures::{TMap, TQueue, TStack};
     pub use crate::throughput::{
         lockfree_stack_throughput, stack_throughput, txapp_throughput, Throughput,
     };
+    pub use tcp_core::engine::EngineStats;
 }

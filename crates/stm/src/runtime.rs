@@ -101,7 +101,10 @@ impl Stm {
     /// A heap of `words` zero-initialized words supporting up to
     /// `max_threads` concurrent transaction contexts.
     pub fn new(words: usize, max_threads: usize) -> Self {
-        assert!(max_threads <= MAX_OWNER + 1, "thread ids must pack into the owner field");
+        assert!(
+            max_threads <= MAX_OWNER + 1,
+            "thread ids must pack into the owner field"
+        );
         Self {
             cells: (0..words)
                 .map(|_| Cell {

@@ -131,7 +131,11 @@ mod tests {
         let dist = Exponential::with_mean(500.0);
         let rem = RemainingTime::FromLengths(&dist);
         let det = run_synthetic(&cfg, &rem, &DetRw);
-        assert!(det.cost_ratio() < 1.1, "DET ratio {} should be near 1", det.cost_ratio());
+        assert!(
+            det.cost_ratio() < 1.1,
+            "DET ratio {} should be near 1",
+            det.cost_ratio()
+        );
         assert!(det.abort_rate() < 0.03, "abort rate {}", det.abort_rate());
     }
 

@@ -45,7 +45,8 @@ fn main() {
     let unc = simulate(&problem, &ContinuousExp, &honest, 200_000, &mut rng);
     println!(
         "  mean-aware vs exp({mu}) seasons: {:.3} (unconstrained: {:.3})",
-        con.cost_ratio(), unc.cost_ratio()
+        con.cost_ratio(),
+        unc.cost_ratio()
     );
 
     // The mapping to transactional conflicts: a requestor-aborts conflict

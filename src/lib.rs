@@ -14,8 +14,9 @@
 //! | [`stm`] | `tcp-stm` | a TL2-style STM with pluggable grace-period conflict management |
 //! | [`analysis`] | `tcp-analysis` | adversarial verification of every theorem and corollary |
 //!
-//! See `README.md` for the quickstart, `DESIGN.md` for the system
-//! inventory, and `EXPERIMENTS.md` for paper-vs-measured results.
+//! See `README.md` for the quickstart, the crate map, and the shared
+//! `tcp_core::engine` layer (conflict arbitration, unified stats,
+//! deterministic seed fan-out) that all three substrates run on.
 //!
 //! ```
 //! use transactional_conflict::prelude::*;

@@ -1,0 +1,113 @@
+//! Satellite of the engine-layer refactor: every substrate, driven through
+//! the shared `tcp_core::engine` seed fan-out, must be bit-reproducible —
+//! two runs with the same master seed produce *identical* `EngineStats`
+//! (full struct equality, not just a couple of counters).
+
+use std::sync::Arc;
+
+use transactional_conflict::prelude::*;
+
+/// The HTM simulator is single-threaded and cycle-granular: everything,
+/// including per-core shards and the run-global counters, must match.
+#[test]
+fn htm_sim_same_seed_identical_stats() {
+    let run = |seed: u64| -> ShardedStats {
+        let mut cfg = SimConfig::new(6, Arc::new(RandRw));
+        cfg.horizon = 150_000;
+        cfg.seed = seed;
+        let mut sim = Simulator::new(cfg, Arc::new(StackWorkload::default()));
+        sim.run();
+        sim.stats.clone()
+    };
+    let a = run(7);
+    assert_eq!(a, run(7), "same seed must reproduce every counter");
+    assert!(
+        a.commits() > 0 && a.global.conflicts > 0,
+        "workload too idle"
+    );
+    let b = run(8);
+    assert_ne!(
+        a.merged().commits,
+        b.merged().commits,
+        "different seeds should visibly diverge on a contended stack"
+    );
+}
+
+/// The ski-rental Monte-Carlo harness: same fan-out stream, same trials —
+/// identical cost accumulators (exact f64 equality).
+#[test]
+fn ski_rental_same_seed_identical_stats() {
+    let run = |seed: u64| -> EngineStats {
+        let mut fan = SeedFanout::new(seed);
+        let p = SkiRental::new(100.0);
+        // Exercise both a classic strategy and the engine-layer bridge.
+        let mut stats = simulate(
+            &p,
+            &ContinuousExp,
+            &FixedSeason(60.0),
+            20_000,
+            &mut fan.stream(),
+        );
+        stats.merge(&simulate(
+            &p,
+            &ArbiterRental::new(RandRa),
+            &FixedSeason(60.0),
+            20_000,
+            &mut fan.stream(),
+        ));
+        stats
+    };
+    let a = run(3);
+    assert_eq!(a, run(3));
+    assert_eq!(a.trials, 40_000);
+    assert!(a.aborts > 0 && a.commits > 0, "both outcomes must occur");
+    assert_ne!(a, run(4), "different seeds must draw different seasons");
+}
+
+/// The STM runs real threads, so wall-clock counters are only meaningful
+/// under contention; a single-context seeded workload must nevertheless
+/// reproduce its logical counters exactly. The op mix is driven by the
+/// same fan-out stream that seeds the policy RNG.
+#[test]
+fn stm_same_seed_identical_stats() {
+    let run = |seed: u64| -> EngineStats {
+        let mut fan = SeedFanout::new(seed);
+        let policy_rng = fan.stream();
+        let mut mix = fan.stream();
+        let stm = Stm::new(TStack::words(64), 1);
+        let st = TStack::new(0, 64);
+        let mut ctx = TxCtx::new(&stm, 0, RandRa, Box::new(policy_rng));
+        for _ in 0..2_000 {
+            if uniform01(&mut mix) < 0.6 {
+                ctx.run(|tx| st.push(tx, 1));
+            } else {
+                ctx.run(|tx| st.pop(tx));
+            }
+        }
+        ctx.stats
+    };
+    let a = run(11);
+    let b = run(11);
+    assert_eq!(a, b);
+    assert_eq!(a.commits, 2_000);
+    assert_eq!(a.aborts, 0, "uncontended run must never abort");
+}
+
+/// The synthetic Figure 2 testbed reports through the same EngineStats;
+/// its internal seeding must reproduce the f64 accumulators exactly.
+#[test]
+fn synthetic_testbed_same_seed_identical_stats() {
+    let run = || {
+        let cfg = SyntheticConfig {
+            abort_cost: 2000.0,
+            chain: 2,
+            trials: 20_000,
+            seed: 5,
+        };
+        let dist = Exponential::with_mean(500.0);
+        run_synthetic(&cfg, &RemainingTime::FromLengths(&dist), &RandRw)
+    };
+    let a = run();
+    assert_eq!(a, run());
+    assert_eq!(a.trials, 20_000);
+}

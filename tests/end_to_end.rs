@@ -81,7 +81,11 @@ fn full_stack_determinism() {
         cfg.seed = 99;
         let mut sim = Simulator::new(cfg, Arc::new(TxAppWorkload::default()));
         sim.run();
-        (sim.stats.commits(), sim.stats.aborts(), sim.stats.global.conflicts)
+        (
+            sim.stats.commits(),
+            sim.stats.aborts(),
+            sim.stats.global.conflicts,
+        )
     };
     assert_eq!(run(), run());
 }

@@ -67,12 +67,11 @@ fn huge_but_finite_grace_is_capped() {
 
 #[test]
 fn empty_transaction_bodies_commit_trivially() {
-    let s = run_sim(
-        Arc::new(RandRw),
-        vec![TxnProgram { ops: vec![] }],
-        2,
+    let s = run_sim(Arc::new(RandRw), vec![TxnProgram { ops: vec![] }], 2);
+    assert!(
+        s.commits() > 10_000,
+        "empty bodies commit every other cycle"
     );
-    assert!(s.commits() > 10_000, "empty bodies commit every other cycle");
     assert_eq!(s.aborts(), 0);
 }
 
@@ -80,7 +79,9 @@ fn empty_transaction_bodies_commit_trivially() {
 fn zero_cycle_compute_makes_progress() {
     let s = run_sim(
         Arc::new(RandRw),
-        vec![TxnProgram { ops: vec![Op::Compute(0), Op::Compute(0)] }],
+        vec![TxnProgram {
+            ops: vec![Op::Compute(0), Op::Compute(0)],
+        }],
         2,
     );
     assert!(s.commits() > 1000);
@@ -89,7 +90,10 @@ fn zero_cycle_compute_makes_progress() {
 #[test]
 fn max_core_count_with_single_hot_line() {
     let s = run_sim(Arc::new(DetRw), vec![hot_program()], 64);
-    assert!(s.commits() > 100, "64 cores on one line must still pipeline");
+    assert!(
+        s.commits() > 100,
+        "64 cores on one line must still pipeline"
+    );
 }
 
 #[test]

@@ -101,8 +101,12 @@ fn run_bench(id: &str, samples: usize, mut f: impl FnMut(&mut Bencher)) {
     per_iter_ns.sort_by(|a, b| a.total_cmp(b));
     let median = per_iter_ns[per_iter_ns.len() / 2];
     let (lo, hi) = (per_iter_ns[0], per_iter_ns[per_iter_ns.len() - 1]);
-    println!("{id}: median {} [{} .. {}] ({samples} samples x {iters} iters)",
-        fmt_ns(median), fmt_ns(lo), fmt_ns(hi));
+    println!(
+        "{id}: median {} [{} .. {}] ({samples} samples x {iters} iters)",
+        fmt_ns(median),
+        fmt_ns(lo),
+        fmt_ns(hi)
+    );
 }
 
 fn fmt_ns(ns: f64) -> String {

@@ -287,8 +287,7 @@ pub mod epoch {
             let spare = Owned::new(9u64);
             let err = a
                 .compare_exchange(Shared::null(), spare, SeqCst, SeqCst, &g)
-                .err()
-                .expect("must fail: not null");
+                .expect_err("must fail: not null");
             assert_eq!(*err.new, 9);
             assert_eq!(err.current, loaded);
             unsafe { drop(loaded.into_owned()) }

@@ -317,8 +317,8 @@ macro_rules! __proptest_items {
 pub mod prelude {
     pub use crate as prop;
     pub use crate::{
-        prop_assert, prop_assert_eq, prop_oneof, proptest, BoxedStrategy, ProptestConfig,
-        Strategy, TestCaseError,
+        prop_assert, prop_assert_eq, prop_oneof, proptest, BoxedStrategy, ProptestConfig, Strategy,
+        TestCaseError,
     };
 }
 
