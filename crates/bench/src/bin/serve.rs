@@ -1,0 +1,84 @@
+//! Extension: the serving-path sweep. Run the sharded transactional KV
+//! service under closed-loop load and compare grace policies on
+//! throughput *and* tail latency across shard counts — the paper's
+//! wait-vs-abort trade-off measured on a service instead of a simulator.
+//!
+//! Arms: always-abort (`NO_DELAY`, the HTM default), the deterministic §6
+//! strategy (`DET`), and the randomized §5 strategy (`RRW`).
+
+use std::sync::Arc;
+
+use tcp_bench::table;
+use tcp_core::policy::{DetRw, GracePolicy, NoDelay};
+use tcp_core::randomized::RandRw;
+use tcp_server::prelude::{run_server, ServeConfig};
+
+fn main() {
+    let quick = table::quick();
+    let ops_per_client = if quick { 1_500 } else { 15_000 };
+    let shard_counts: &[usize] = if quick { &[2, 4] } else { &[2, 4, 8] };
+    let clients = 8;
+    let base = ServeConfig {
+        clients,
+        ops_per_client,
+        keys: 1024,
+        zipf_s: 1.1,
+        read_fraction: 0.5,
+        rmw_fraction: 0.25,
+        rmw_span: 4,
+        think_ns: 500,
+        // In-transaction compute widens the conflict window so the grace
+        // policies actually arbitrate (on multicore hosts; a single-core
+        // runner only overlaps at preemption boundaries).
+        work_ns: 2_000,
+        queue_capacity: 64,
+        seed: 42,
+        ..Default::default()
+    };
+    println!(
+        "# serve: sharded KV, {clients} closed-loop clients x {ops_per_client} ops, \
+         keys={}, zipf_s={}, read={}, rmw={}@{} keys, work={}ns, cap={} (latencies in ns)",
+        base.keys,
+        base.zipf_s,
+        base.read_fraction,
+        base.rmw_fraction,
+        base.rmw_span,
+        base.work_ns,
+        base.queue_capacity
+    );
+    table::header(&[
+        "policy", "shards", "commits", "aborts", "sheds", "ops/s", "p50", "p90", "p99", "p999",
+    ]);
+    for &shards in shard_counts {
+        let arms: Vec<(&str, Arc<dyn GracePolicy>)> = vec![
+            ("NO_DELAY", Arc::new(NoDelay::requestor_wins())),
+            ("DET", Arc::new(DetRw)),
+            ("RRW", Arc::new(RandRw)),
+        ];
+        for (name, policy) in arms {
+            let cfg = ServeConfig {
+                shards,
+                ..base.clone()
+            };
+            let r = run_server(&cfg, policy);
+            let m = r.stats.merged();
+            assert_eq!(
+                m.commits + m.sheds,
+                cfg.total_requests(),
+                "lost requests under {name}"
+            );
+            table::row(&[
+                name.into(),
+                shards.to_string(),
+                m.commits.to_string(),
+                m.aborts.to_string(),
+                m.sheds.to_string(),
+                table::num(r.ops_per_sec()),
+                m.latency_percentile(50.0).to_string(),
+                m.latency_percentile(90.0).to_string(),
+                m.latency_percentile(99.0).to_string(),
+                m.latency_percentile(99.9).to_string(),
+            ]);
+        }
+    }
+}

@@ -23,6 +23,7 @@
 //! | `skew_ablation` | Zipf-skewed contention sweep (extension) |
 //! | `backoff_ablation` | §7 abort-cost inflation on/off (extension) |
 //! | `tail_latency` | p50/p99/p99.9 commit latency per policy (extension) |
+//! | `serve` | sharded KV service: policies vs throughput + tail latency (extension) |
 //! | `tcp` | general-purpose CLI driver (`tcp sim/synthetic/game/list`) |
 //!
 //! Every binary prints a TSV table to stdout; pass `--quick` to shrink the

@@ -24,6 +24,7 @@
 use rand::RngCore;
 
 use crate::conflict::{Conflict, ResolutionMode};
+use crate::hist::LatencyHistogram;
 use crate::policy::GracePolicy;
 use crate::progress::BackoffState;
 use crate::rng::Xoshiro256StarStar;
@@ -89,11 +90,23 @@ pub struct EngineStats {
     /// Histogram of observed conflict chain lengths `k` (index = `k`,
     /// saturating at [`CHAIN_HIST_LEN`]` - 1`).
     pub chain_hist: [u64; CHAIN_HIST_LEN],
+    /// Requests rejected by admission control (a bounded queue was full
+    /// and the submitter shed instead of blocking).
+    pub sheds: u64,
+    /// Deepest queue observed behind this shard's submissions. Merging
+    /// takes the max, like `cycles`.
+    pub queue_depth_max: u64,
     /// Run duration (simulated cycles / wall nanoseconds). Merging takes
     /// the max: shards of one run share a horizon, they don't extend it.
     pub cycles: u64,
-    /// Per-commit latency samples, when recording is enabled.
+    /// Per-commit latency samples, when exact-sample recording is enabled
+    /// (see [`record_latency`](Self::record_latency)).
     pub latencies: Vec<u64>,
+    /// Streaming log-bucketed view of the same latencies — what
+    /// [`latency_percentile`](Self::latency_percentile) reads. High-volume
+    /// paths (the KV server) record here only, via
+    /// [`record_latency_streaming`](Self::record_latency_streaming).
+    pub latency_hist: LatencyHistogram,
     /// Monte-Carlo trials accounted in the cost accumulators below.
     pub trials: u64,
     /// Total online cost across trials (cost-model substrates).
@@ -124,8 +137,11 @@ impl EngineStats {
         for (a, b) in self.chain_hist.iter_mut().zip(other.chain_hist.iter()) {
             *a += b;
         }
+        self.sheds += other.sheds;
+        self.queue_depth_max = self.queue_depth_max.max(other.queue_depth_max);
         self.cycles = self.cycles.max(other.cycles);
         self.latencies.extend_from_slice(&other.latencies);
+        self.latency_hist.merge(&other.latency_hist);
         self.trials += other.trials;
         self.total_cost += other.total_cost;
         self.total_opt += other.total_opt;
@@ -209,9 +225,48 @@ impl EngineStats {
         self.total_ratio / self.trials as f64
     }
 
-    /// Latency percentile over committed transactions (`p ∈ [0, 100]`).
-    /// Returns 0 when no latencies were recorded.
-    pub fn latency_percentile(&mut self, p: f64) -> u64 {
+    /// Record one commit latency: exact sample *and* streaming histogram.
+    /// Substrates with bounded sample counts (the HTM simulator) use this
+    /// so both the approximate and the exact percentile paths work.
+    pub fn record_latency(&mut self, v: u64) {
+        self.latencies.push(v);
+        self.latency_hist.record(v);
+    }
+
+    /// Record one commit latency into the streaming histogram only — the
+    /// serving path, where keeping every sample would grow without bound.
+    pub fn record_latency_streaming(&mut self, v: u64) {
+        self.latency_hist.record(v);
+    }
+
+    /// Latency percentile over committed transactions (`p ∈ [0, 100]`),
+    /// read from the streaming histogram: O(1) per recorded sample, no
+    /// sorting, relative error ≤ 1/[`crate::hist::SUB_BUCKETS`] (≈ 3.2%;
+    /// exact below [`crate::hist::LINEAR_BUCKETS`]). Returns 0 when no
+    /// latencies were recorded.
+    ///
+    /// Samples pushed straight into the public [`latencies`](Self::latencies)
+    /// Vec (the pre-histogram recording pattern) never reach the histogram;
+    /// when only such samples exist this falls back to the exact
+    /// nearest-rank computation on a sorted copy, so legacy callers keep
+    /// getting real percentiles instead of 0.
+    pub fn latency_percentile(&self, p: f64) -> u64 {
+        if self.latency_hist.is_empty() && !self.latencies.is_empty() {
+            debug_assert!((0.0..=100.0).contains(&p));
+            let mut sorted = self.latencies.clone();
+            sorted.sort_unstable();
+            let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+            return sorted[idx];
+        }
+        self.latency_hist.percentile(p)
+    }
+
+    /// Exact nearest-rank latency percentile over the raw samples — the
+    /// pre-histogram behavior, kept for tests and small offline runs. Sorts
+    /// the sample `Vec` (O(n log n) per call); only samples recorded via
+    /// [`record_latency`](Self::record_latency) (or pushed directly into
+    /// [`latencies`](Self::latencies)) are visible here.
+    pub fn latency_percentile_exact(&mut self, p: f64) -> u64 {
         if self.latencies.is_empty() {
             return 0;
         }
@@ -278,6 +333,12 @@ impl ShardedStats {
         self.per_thread.iter().map(|c| c.fallbacks).sum()
     }
 
+    /// Requests shed by admission control, across shards and the run-global
+    /// tally.
+    pub fn sheds(&self) -> u64 {
+        self.global.sheds + self.per_thread.iter().map(|c| c.sheds).sum::<u64>()
+    }
+
     pub fn throughput(&self) -> f64 {
         if self.global.cycles == 0 {
             0.0
@@ -309,8 +370,8 @@ impl ShardedStats {
         self.global.record_chain(k);
     }
 
-    /// Latency percentile over the run-global latency samples.
-    pub fn latency_percentile(&mut self, p: f64) -> u64 {
+    /// Latency percentile over the run-global streaming histogram.
+    pub fn latency_percentile(&self, p: f64) -> u64 {
         self.global.latency_percentile(p)
     }
 }
@@ -533,15 +594,72 @@ mod tests {
 
     #[test]
     fn latency_percentiles() {
-        let mut s = EngineStats {
+        let mut s = EngineStats::default();
+        for v in (1..=100u64).rev() {
+            s.record_latency(v);
+        }
+        // Exact path: nearest rank over the sorted raw samples.
+        assert_eq!(s.latency_percentile_exact(0.0), 1);
+        assert_eq!(s.latency_percentile_exact(50.0), 51);
+        assert_eq!(s.latency_percentile_exact(100.0), 100);
+        // Streaming path: exact in the linear region, upper-edge with
+        // bounded error above it, clamped to the observed max.
+        assert_eq!(s.latency_percentile(0.0), 1);
+        assert_eq!(s.latency_percentile(50.0), 51);
+        assert_eq!(s.latency_percentile(100.0), 100);
+        let empty = EngineStats::default();
+        assert_eq!(empty.latency_percentile(99.0), 0);
+        assert_eq!(EngineStats::default().latency_percentile_exact(99.0), 0);
+    }
+
+    #[test]
+    fn direct_vec_pushes_still_yield_percentiles() {
+        // The pre-histogram recording pattern: samples pushed straight into
+        // the public Vec, histogram never touched. Must fall back to the
+        // exact path, not return 0.
+        let s = EngineStats {
             latencies: (1..=100).rev().collect(),
             ..Default::default()
         };
         assert_eq!(s.latency_percentile(0.0), 1);
         assert_eq!(s.latency_percentile(50.0), 51);
         assert_eq!(s.latency_percentile(100.0), 100);
-        let mut empty = EngineStats::default();
-        assert_eq!(empty.latency_percentile(99.0), 0);
+    }
+
+    #[test]
+    fn streaming_only_latencies_skip_the_sample_vec() {
+        let mut s = EngineStats::default();
+        for v in [10u64, 20, 30] {
+            s.record_latency_streaming(v);
+        }
+        assert!(
+            s.latencies.is_empty(),
+            "streaming path must not keep samples"
+        );
+        assert_eq!(s.latency_percentile(100.0), 30);
+        assert_eq!(s.latency_percentile_exact(100.0), 0, "no raw samples kept");
+    }
+
+    #[test]
+    fn shed_and_depth_counters_merge() {
+        let mut a = EngineStats {
+            sheds: 3,
+            queue_depth_max: 7,
+            ..Default::default()
+        };
+        let b = EngineStats {
+            sheds: 2,
+            queue_depth_max: 5,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.sheds, 5, "sheds sum");
+        assert_eq!(a.queue_depth_max, 7, "queue depth takes the max");
+        let mut sh = ShardedStats::new(2);
+        sh.per_thread[0].sheds = 4;
+        sh.global.sheds = 1;
+        assert_eq!(sh.sheds(), 5);
+        assert_eq!(sh.merged().sheds, 5);
     }
 
     #[test]

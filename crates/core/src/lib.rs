@@ -44,6 +44,7 @@ pub mod competitive;
 pub mod conflict;
 pub mod discrete;
 pub mod engine;
+pub mod hist;
 pub mod pdf;
 pub mod pdfs;
 pub mod policy;
@@ -62,6 +63,7 @@ pub mod prelude {
     pub use crate::engine::{
         AbortKind, ConflictArbiter, EngineStats, GraceDecision, SeedFanout, ShardedStats,
     };
+    pub use crate::hist::LatencyHistogram;
     pub use crate::pdf::GracePdf;
     pub use crate::pdfs::{
         chain_r, RaMeanPdf, RaUnconstrainedPdf, RwMeanChainPdf, RwMeanK2Pdf, RwUnconstrainedPdf,

@@ -225,7 +225,7 @@ impl Simulator {
         stats.commits += 1;
         stats.total_latency += latency;
         if self.cfg.record_latencies {
-            self.stats.global.latencies.push(latency);
+            self.stats.global.record_latency(latency);
         }
         if let Some(p) = &self.cfg.profiler {
             // The successful attempt's duration — the "fast-path length"

@@ -1,0 +1,235 @@
+//! The deterministic closed-loop load generator.
+//!
+//! Each client thread owns one `SeedFanout` substream and loops: draw a
+//! request (Zipf/uniform key skew, read/write/RMW mix), submit it to the
+//! home shard's bounded queue, block for the response, record the
+//! end-to-end latency into the streaming histogram, think, repeat. The
+//! *request sequence* is a pure function of the substream — sheds and
+//! latencies vary with timing, the offered load does not.
+//!
+//! Closed-loop clients bound the in-flight population at `clients`, the
+//! load model under which "Are Lock-Free Concurrent Algorithms Practically
+//! Wait-Free?" measures scheduler-driven progress; the shed counter plus
+//! `queue_depth_max` make the backpressure the loop generates observable.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use rand::RngCore;
+use tcp_core::engine::EngineStats;
+use tcp_core::rng::{uniform01, uniform_u64_below, Xoshiro256StarStar};
+use tcp_workloads::dist::Zipf;
+
+use crate::config::ServeConfig;
+use crate::protocol::{Key, Request};
+use crate::queue::{Envelope, ReplyCell, ShardQueue};
+
+/// Key-selection distribution shared by every client.
+#[derive(Clone)]
+pub enum KeyPicker {
+    /// Uniform over `{0, …, keys−1}`.
+    Uniform(u64),
+    /// Zipf-skewed (rank 0 hottest); the CDF table is built once and
+    /// shared.
+    Zipf(Arc<Zipf>),
+}
+
+impl KeyPicker {
+    pub fn from_config(cfg: &ServeConfig) -> Self {
+        if cfg.zipf_s > 0.0 {
+            KeyPicker::Zipf(Arc::new(Zipf::new(cfg.keys as usize, cfg.zipf_s)))
+        } else {
+            KeyPicker::Uniform(cfg.keys)
+        }
+    }
+
+    pub fn draw(&self, rng: &mut dyn RngCore) -> Key {
+        match self {
+            KeyPicker::Uniform(n) => uniform_u64_below(rng, *n),
+            KeyPicker::Zipf(z) => z.sample(rng) as Key,
+        }
+    }
+}
+
+/// Draws the request mix: `rmw_fraction` multi-key RMWs, the rest split
+/// `read_fraction` reads / `1 − read_fraction` commutative increments.
+#[derive(Clone)]
+pub struct RequestGen {
+    picker: KeyPicker,
+    read_fraction: f64,
+    rmw_fraction: f64,
+    rmw_span: usize,
+}
+
+impl RequestGen {
+    pub fn from_config(cfg: &ServeConfig) -> Self {
+        Self {
+            picker: KeyPicker::from_config(cfg),
+            read_fraction: cfg.read_fraction,
+            rmw_fraction: cfg.rmw_fraction,
+            rmw_span: cfg.rmw_span,
+        }
+    }
+
+    /// Draw one request. Writes are increments (`delta = 1`) so the final
+    /// heap state is independent of request interleaving.
+    pub fn draw(&self, rng: &mut dyn RngCore) -> Request {
+        if uniform01(rng) < self.rmw_fraction {
+            let keys: Vec<Key> = (0..self.rmw_span).map(|_| self.picker.draw(rng)).collect();
+            Request::Rmw { keys, delta: 1 }
+        } else if uniform01(rng) < self.read_fraction {
+            Request::Get(self.picker.draw(rng))
+        } else {
+            Request::Add(self.picker.draw(rng), 1)
+        }
+    }
+}
+
+/// What one client thread hands back at the end of the run.
+pub struct ClientOutcome {
+    /// Sheds, max observed queue depth, and the streaming latency
+    /// histogram (end-to-end: submit → response).
+    pub stats: EngineStats,
+    /// Heap increments this client's *admitted* requests applied — the
+    /// conservation invariant's right-hand side.
+    pub increments_applied: u64,
+}
+
+/// Run one closed-loop client to completion.
+pub fn run_client(
+    gen: &RequestGen,
+    queues: &[Arc<ShardQueue>],
+    ops: u64,
+    think_ns: u64,
+    mut rng: Xoshiro256StarStar,
+) -> ClientOutcome {
+    let shards = queues.len();
+    let reply = Arc::new(ReplyCell::new());
+    let mut stats = EngineStats::default();
+    let mut increments_applied = 0u64;
+    for _ in 0..ops {
+        let req = gen.draw(&mut rng);
+        let shard = req.home_shard(shards);
+        let increments = req.increments();
+        let t0 = Instant::now();
+        let env = Envelope {
+            req,
+            reply: Arc::clone(&reply),
+        };
+        match queues[shard].try_push(env) {
+            Ok(depth) => {
+                let _resp = reply.take();
+                stats.record_latency_streaming(t0.elapsed().as_nanos() as u64);
+                stats.queue_depth_max = stats.queue_depth_max.max(depth as u64);
+                increments_applied += increments;
+            }
+            Err(_shed) => stats.sheds += 1,
+        }
+        spin_ns(think_ns);
+    }
+    ClientOutcome {
+        stats,
+        increments_applied,
+    }
+}
+
+/// Spin out a duration (sleep granularity is far too coarse at the
+/// sub-microsecond scales of client think time and in-transaction work).
+pub(crate) fn spin_ns(ns: u64) {
+    if ns == 0 {
+        return;
+    }
+    let t0 = Instant::now();
+    while (t0.elapsed().as_nanos() as u64) < ns {
+        std::hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ServeConfig {
+        ServeConfig {
+            keys: 64,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn request_sequence_is_seed_deterministic() {
+        let gen = RequestGen::from_config(&cfg());
+        let draw = |seed: u64| -> Vec<Request> {
+            let mut rng = Xoshiro256StarStar::new(seed);
+            (0..200).map(|_| gen.draw(&mut rng)).collect()
+        };
+        assert_eq!(draw(3), draw(3));
+        assert_ne!(draw(3), draw(4));
+    }
+
+    #[test]
+    fn request_mix_matches_fractions() {
+        let gen = RequestGen::from_config(&ServeConfig {
+            keys: 64,
+            rmw_fraction: 0.25,
+            read_fraction: 0.5,
+            ..Default::default()
+        });
+        let mut rng = Xoshiro256StarStar::new(1);
+        let n = 20_000;
+        let (mut rmw, mut get, mut add) = (0, 0, 0);
+        for _ in 0..n {
+            match gen.draw(&mut rng) {
+                Request::Rmw { keys, delta } => {
+                    assert_eq!(keys.len(), 3);
+                    assert_eq!(delta, 1);
+                    rmw += 1;
+                }
+                Request::Get(_) => get += 1,
+                Request::Add(_, 1) => add += 1,
+                other => panic!("unexpected request {other:?}"),
+            }
+        }
+        let f = |c: i32| c as f64 / n as f64;
+        assert!((f(rmw) - 0.25).abs() < 0.02, "rmw {}", f(rmw));
+        assert!((f(get) - 0.375).abs() < 0.02, "get {}", f(get));
+        assert!((f(add) - 0.375).abs() < 0.02, "add {}", f(add));
+    }
+
+    #[test]
+    fn pickers_stay_in_key_space() {
+        let mut rng = Xoshiro256StarStar::new(2);
+        for picker in [
+            KeyPicker::from_config(&ServeConfig {
+                keys: 32,
+                zipf_s: 0.0,
+                ..Default::default()
+            }),
+            KeyPicker::from_config(&ServeConfig {
+                keys: 32,
+                zipf_s: 1.2,
+                ..Default::default()
+            }),
+        ] {
+            for _ in 0..5_000 {
+                assert!(picker.draw(&mut rng) < 32);
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_picker_skews_toward_rank_zero() {
+        let picker = KeyPicker::from_config(&ServeConfig {
+            keys: 64,
+            zipf_s: 1.0,
+            ..Default::default()
+        });
+        let mut rng = Xoshiro256StarStar::new(5);
+        let n = 20_000;
+        let zeros = (0..n).filter(|_| picker.draw(&mut rng) == 0).count() as f64 / n as f64;
+        assert!(
+            zeros > 3.0 / 64.0,
+            "rank 0 should be much hotter than uniform"
+        );
+    }
+}

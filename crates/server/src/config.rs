@@ -1,0 +1,101 @@
+//! Service configuration: shard/client topology, workload shape, and the
+//! admission-control knob.
+
+/// Everything a serving run needs, reproducible from one `seed`.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Shard (worker thread) count; keys partition across shards by
+    /// `key % shards`.
+    pub shards: usize,
+    /// Closed-loop client thread count (each keeps one request in flight).
+    pub clients: usize,
+    /// Requests each client issues before the run ends.
+    pub ops_per_client: u64,
+    /// Key-space size (= words in the shared STM heap).
+    pub keys: u64,
+    /// Zipf skew exponent for key selection; `0.0` = uniform.
+    pub zipf_s: f64,
+    /// Fraction of non-RMW requests that are reads (`Get` vs `Add`).
+    pub read_fraction: f64,
+    /// Fraction of all requests that are multi-key RMW transactions.
+    pub rmw_fraction: f64,
+    /// Keys touched by one RMW transaction (may span shards).
+    pub rmw_span: usize,
+    /// Closed-loop think time between requests, in nanoseconds (spin).
+    pub think_ns: u64,
+    /// Per-request compute performed *inside* the transaction (between the
+    /// reads and the writes), in nanoseconds — the service analogue of the
+    /// paper's transaction length µ. Longer transactions widen the window
+    /// in which concurrent committers conflict, so this knob controls how
+    /// hard the serving path exercises the grace policies.
+    pub work_ns: u64,
+    /// Bounded per-shard queue capacity — the backpressure knob. A full
+    /// queue sheds incoming requests (counted in `EngineStats::sheds`).
+    pub queue_capacity: usize,
+    /// Master seed fanned out to every shard worker and client.
+    pub seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            clients: 8,
+            ops_per_client: 10_000,
+            keys: 4096,
+            zipf_s: 0.9,
+            read_fraction: 0.6,
+            rmw_fraction: 0.1,
+            rmw_span: 3,
+            think_ns: 500,
+            work_ns: 0,
+            queue_capacity: 64,
+            seed: 42,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Panic on nonsensical configurations (caught at run start, not deep
+    /// inside a worker).
+    pub fn validate(&self) {
+        assert!(self.shards >= 1, "need at least one shard");
+        assert!(self.clients >= 1, "need at least one client");
+        assert!(self.keys >= self.shards as u64, "every shard needs a key");
+        assert!(
+            (0.0..=1.0).contains(&self.read_fraction) && (0.0..=1.0).contains(&self.rmw_fraction),
+            "fractions must lie in [0, 1]"
+        );
+        assert!(self.zipf_s >= 0.0, "zipf exponent must be non-negative");
+        assert!(
+            (1..=self.keys as usize).contains(&self.rmw_span),
+            "rmw_span must be in 1..=keys"
+        );
+        assert!(self.queue_capacity >= 1, "queue capacity must be positive");
+    }
+
+    /// Total requests the client fleet issues.
+    pub fn total_requests(&self) -> u64 {
+        self.clients as u64 * self.ops_per_client
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        ServeConfig::default().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "queue capacity")]
+    fn zero_capacity_rejected() {
+        ServeConfig {
+            queue_capacity: 0,
+            ..Default::default()
+        }
+        .validate();
+    }
+}

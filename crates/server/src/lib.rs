@@ -1,0 +1,65 @@
+//! # tcp-server — a sharded transactional KV service layer
+//!
+//! The paper's wait-vs-abort policies are exercised elsewhere in this
+//! workspace by offline harnesses (the synthetic testbed, the HTM
+//! simulator, the ski-rental bridge). This crate is the *serving path*:
+//! a thread-per-shard transactional key-value service under closed-loop
+//! request pressure, so every policy can be measured on throughput **and
+//! tail latency** of a service-style workload rather than in simulation.
+//!
+//! ## Component ↔ paper map
+//!
+//! | Component | Module | Paper |
+//! |-----------|--------|-------|
+//! | Wait/abort decision on every conflict | workers' [`ConflictArbiter`](tcp_core::engine::ConflictArbiter) via [`server::run_server`] | §4–§6 (the transactional conflict problem) |
+//! | Randomized grace policies under service load | any [`GracePolicy`](tcp_core::policy::GracePolicy) plugged into the workers | §5 (Thm 5/6) |
+//! | Deterministic grace policy under service load | e.g. `DetRw` | §6 (Thm 4) |
+//! | Abort-cost backoff inflation across request retries | `ConflictArbiter`'s [`BackoffState`](tcp_core::progress::BackoffState) | §7 |
+//! | Multi-key transactions provoking conflict chains | [`protocol::Request::Rmw`] spanning shards | §3 (conflict chains) |
+//! | Closed-loop load, think time, key skew | [`client`] (cf. "practically wait-free" scheduler-driven load) | §8 (evaluation methodology) |
+//! | Tail-latency accounting | [`tcp_core::hist::LatencyHistogram`] p50/p90/p99/p999 | §8 figures' y-axes |
+//! | Admission control / backpressure | [`queue::ShardQueue`] shed-on-full, `EngineStats::sheds` | extension |
+//!
+//! ## Shape
+//!
+//! One shared TL2 heap ([`tcp_stm::runtime::Stm`]); keys partition across
+//! shards by `key % shards`. Single-key requests execute on their home
+//! shard and never cross shards; multi-key RMWs execute on the first key's
+//! shard and may reach into words other workers are committing — those are
+//! the conflicts the grace policies arbitrate. All writes in the generated
+//! workload are commutative increments, so the final heap is a pure
+//! function of the admitted request set: same seed ⇒ same checksum, even
+//! under real-thread nondeterminism (asserted in `tests/determinism.rs`).
+//!
+//! ```
+//! use tcp_server::prelude::*;
+//! use tcp_core::randomized::RandRw;
+//!
+//! let cfg = ServeConfig {
+//!     shards: 2,
+//!     clients: 2,
+//!     ops_per_client: 200,
+//!     keys: 64,
+//!     think_ns: 0,
+//!     ..Default::default()
+//! };
+//! let report = run_server(&cfg, RandRw);
+//! let m = report.stats.merged();
+//! assert_eq!(m.commits + m.sheds, cfg.total_requests());
+//! let p99 = m.latency_percentile(99.0); // streaming histogram, no sort
+//! assert!(p99 >= m.latency_percentile(50.0));
+//! ```
+
+pub mod client;
+pub mod config;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+
+pub mod prelude {
+    pub use crate::client::{run_client, ClientOutcome, KeyPicker, RequestGen};
+    pub use crate::config::ServeConfig;
+    pub use crate::protocol::{Key, Request, Response};
+    pub use crate::queue::{Envelope, ReplyCell, ShardQueue};
+    pub use crate::server::{run_server, ServeReport};
+}

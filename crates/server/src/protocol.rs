@@ -1,0 +1,105 @@
+//! The request/response protocol of the KV service.
+//!
+//! Keys are word addresses into the shared STM heap; values are the `u64`
+//! words the TL2 runtime stores. Two request classes exist:
+//!
+//! * **single-key ops** ([`Request::Get`], [`Request::Put`],
+//!   [`Request::Add`]) execute on the key's home shard and, because keys
+//!   are partitioned across shards, never conflict with other shards;
+//! * **multi-key read-modify-write transactions** ([`Request::Rmw`])
+//!   execute on the *first* key's home shard but may touch words owned by
+//!   other shards — the cross-shard conflicts whose wait/abort decisions
+//!   route through `tcp_core::engine::ConflictArbiter`.
+//!
+//! `Add` and `Rmw` are commutative increments, so the final heap state is a
+//! pure function of the *set* of admitted requests, independent of
+//! interleaving — the property the same-seed determinism tests lean on.
+
+/// A key: a word address in the shared STM heap.
+pub type Key = u64;
+
+/// A client request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Read one key.
+    Get(Key),
+    /// Blind-write one key.
+    Put(Key, u64),
+    /// Read-modify-write one key: add `delta`, return the new value.
+    Add(Key, u64),
+    /// Multi-key read-modify-write transaction: atomically add `delta` to
+    /// every key and return the sum of the new values. Keys may span
+    /// shards; the first key's shard executes it.
+    Rmw { keys: Vec<Key>, delta: u64 },
+}
+
+impl Request {
+    /// The key whose home shard executes this request.
+    pub fn home_key(&self) -> Key {
+        match self {
+            Request::Get(k) | Request::Put(k, _) | Request::Add(k, _) => *k,
+            Request::Rmw { keys, .. } => keys[0],
+        }
+    }
+
+    /// The shard that executes this request — the one canonical key→shard
+    /// rule of the service (keys partition by `key % shards`).
+    pub fn home_shard(&self, shards: usize) -> usize {
+        (self.home_key() % shards as u64) as usize
+    }
+
+    /// Increments this request applies to the heap if admitted (for the
+    /// conservation invariant: final heap sum = Σ admitted increments).
+    pub fn increments(&self) -> u64 {
+        match self {
+            Request::Get(_) | Request::Put(_, _) => 0,
+            Request::Add(_, delta) => *delta,
+            Request::Rmw { keys, delta } => keys.len() as u64 * delta,
+        }
+    }
+}
+
+/// The server's reply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// The value read by a `Get`.
+    Value(u64),
+    /// A `Put` was applied.
+    Written,
+    /// The new value after an `Add`.
+    Added(u64),
+    /// The sum of the new values after an `Rmw`.
+    RmwSum(u64),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn home_key_and_shard_routing() {
+        assert_eq!(Request::Get(7).home_key(), 7);
+        assert_eq!(Request::Put(3, 9).home_key(), 3);
+        assert_eq!(Request::Add(5, 1).home_key(), 5);
+        let rmw = Request::Rmw {
+            keys: vec![11, 2, 30],
+            delta: 1,
+        };
+        assert_eq!(rmw.home_key(), 11, "the first key picks the shard");
+        assert_eq!(rmw.home_shard(4), 3);
+        assert_eq!(Request::Get(7).home_shard(4), 3);
+        assert_eq!(Request::Get(8).home_shard(4), 0);
+    }
+
+    #[test]
+    fn increments_account_admitted_writes() {
+        assert_eq!(Request::Get(1).increments(), 0);
+        assert_eq!(Request::Put(1, 99).increments(), 0);
+        assert_eq!(Request::Add(1, 4).increments(), 4);
+        let rmw = Request::Rmw {
+            keys: vec![1, 2, 3],
+            delta: 2,
+        };
+        assert_eq!(rmw.increments(), 6);
+    }
+}

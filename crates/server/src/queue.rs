@@ -1,0 +1,182 @@
+//! Bounded per-shard request queues (the admission-control knob) and the
+//! closed-loop reply cell.
+//!
+//! Each shard owns one [`ShardQueue`]; clients submit with
+//! [`try_push`](ShardQueue::try_push), which **sheds on full** rather than
+//! blocking — the backpressure policy of the service layer. A shed request
+//! is counted in `EngineStats::sheds` by the client and never reaches the
+//! STM. Shard workers block on [`pop`](ShardQueue::pop) until the server
+//! [`close`](ShardQueue::close)s the queue at the end of the run.
+//!
+//! Clients are closed-loop (one outstanding request each), so a single
+//! reusable [`ReplyCell`] per client carries every response back.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::protocol::{Request, Response};
+
+/// A request in flight: the payload plus where to deliver the response.
+pub struct Envelope {
+    pub req: Request,
+    pub reply: Arc<ReplyCell>,
+}
+
+struct Inner {
+    q: VecDeque<Envelope>,
+    closed: bool,
+}
+
+/// A bounded MPSC queue feeding one shard worker.
+pub struct ShardQueue {
+    inner: Mutex<Inner>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl ShardQueue {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "a zero-capacity queue would shed everything");
+        Self {
+            inner: Mutex::new(Inner {
+                q: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Admit `env` unless the queue is full. Returns the queue depth after
+    /// the push on success; hands the envelope back on shed so the caller
+    /// retains ownership of the request.
+    pub fn try_push(&self, env: Envelope) -> Result<usize, Envelope> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed || inner.q.len() >= self.capacity {
+            return Err(env);
+        }
+        inner.q.push_back(env);
+        let depth = inner.q.len();
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(depth)
+    }
+
+    /// Block until a request is available or the queue is closed *and*
+    /// drained; `None` signals the worker to exit.
+    pub fn pop(&self) -> Option<Envelope> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(env) = inner.q.pop_front() {
+                return Some(env);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).unwrap();
+        }
+    }
+
+    /// Stop admitting requests; workers drain the backlog and exit.
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.not_empty.notify_all();
+    }
+}
+
+/// A one-slot rendezvous for the response of the client's single
+/// outstanding request.
+#[derive(Default)]
+pub struct ReplyCell {
+    slot: Mutex<Option<Response>>,
+    ready: Condvar,
+}
+
+impl ReplyCell {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Deliver a response (worker side).
+    pub fn put(&self, resp: Response) {
+        let mut slot = self.slot.lock().unwrap();
+        debug_assert!(slot.is_none(), "closed loop: one outstanding request");
+        *slot = Some(resp);
+        drop(slot);
+        self.ready.notify_one();
+    }
+
+    /// Block until the response arrives and take it (client side).
+    pub fn take(&self) -> Response {
+        let mut slot = self.slot.lock().unwrap();
+        loop {
+            if let Some(resp) = slot.take() {
+                return resp;
+            }
+            slot = self.ready.wait(slot).unwrap();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(k: u64) -> Envelope {
+        Envelope {
+            req: Request::Get(k),
+            reply: Arc::new(ReplyCell::new()),
+        }
+    }
+
+    #[test]
+    fn sheds_on_full_and_returns_the_envelope() {
+        let q = ShardQueue::new(2);
+        assert_eq!(q.try_push(env(0)).ok(), Some(1));
+        assert_eq!(q.try_push(env(1)).ok(), Some(2));
+        let shed = match q.try_push(env(7)) {
+            Err(e) => e,
+            Ok(_) => panic!("full queue must shed"),
+        };
+        assert_eq!(shed.req, Request::Get(7), "shed hands the request back");
+        // Draining frees capacity again.
+        assert!(q.pop().is_some());
+        assert_eq!(q.try_push(env(8)).ok(), Some(2));
+    }
+
+    #[test]
+    fn close_drains_backlog_then_signals_exit() {
+        let q = ShardQueue::new(4);
+        q.try_push(env(1)).unwrap_or_else(|_| panic!("push"));
+        q.try_push(env(2)).unwrap_or_else(|_| panic!("push"));
+        q.close();
+        assert!(q.try_push(env(3)).is_err(), "closed queue admits nothing");
+        assert_eq!(q.pop().map(|e| e.req), Some(Request::Get(1)));
+        assert_eq!(q.pop().map(|e| e.req), Some(Request::Get(2)));
+        assert!(q.pop().is_none(), "drained + closed ⇒ worker exit signal");
+    }
+
+    #[test]
+    fn pop_blocks_until_push() {
+        let q = Arc::new(ShardQueue::new(1));
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.pop().map(|e| e.req));
+        // Give the popper a moment to park, then feed it.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.try_push(env(9)).unwrap_or_else(|_| panic!("push"));
+        assert_eq!(h.join().unwrap(), Some(Request::Get(9)));
+    }
+
+    #[test]
+    fn reply_cell_roundtrip_across_threads() {
+        let cell = Arc::new(ReplyCell::new());
+        let c2 = Arc::clone(&cell);
+        let h = std::thread::spawn(move || c2.take());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        cell.put(Response::Added(5));
+        assert_eq!(h.join().unwrap(), Response::Added(5));
+        // Reusable for the next request in the closed loop.
+        cell.put(Response::Written);
+        assert_eq!(cell.take(), Response::Written);
+    }
+}

@@ -1,0 +1,347 @@
+//! The sharded, thread-per-shard transactional KV server.
+//!
+//! One shared TL2 heap (`tcp_stm::Stm`), one worker thread per shard.
+//! Each worker drains its bounded [`ShardQueue`] and executes every
+//! request as an STM transaction through its own
+//! [`TxCtx`](tcp_stm::runtime::TxCtx) — so every conflict a cross-shard
+//! RMW provokes consults the shared
+//! [`ConflictArbiter`](tcp_core::engine::ConflictArbiter) for its
+//! wait/abort decision, exactly like the offline substrates.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use tcp_core::conflict::Conflict;
+use tcp_core::engine::{SeedFanout, ShardedStats};
+use tcp_core::policy::GracePolicy;
+use tcp_stm::runtime::{Stm, TxCtx};
+
+use crate::client::{run_client, spin_ns, RequestGen};
+use crate::config::ServeConfig;
+use crate::protocol::{Request, Response};
+use crate::queue::ShardQueue;
+
+/// Everything a serving run reports.
+#[derive(Clone, Debug)]
+pub struct ServeReport {
+    /// `per_thread[i]` = shard `i`'s transaction tally (commits, aborts by
+    /// cause, wait time); `global` = the merged client-side view (sheds,
+    /// queue depth, the streaming latency histogram) plus the wall-clock
+    /// horizon in `cycles` (nanoseconds, STM convention).
+    pub stats: ShardedStats,
+    /// Wall-clock duration of the run, nanoseconds.
+    pub wall_ns: u64,
+    /// Sum of every word in the final heap. Because all writes in the
+    /// generated workload are commutative increments, this equals
+    /// [`increments_applied`](Self::increments_applied) on a quiesced heap
+    /// regardless of interleaving.
+    pub state_sum: u64,
+    /// FNV-style digest of the final heap — the per-key distribution, not
+    /// just the sum, so different key-skew seeds are distinguishable.
+    pub state_checksum: u64,
+    /// Σ increments of all admitted (non-shed) requests.
+    pub increments_applied: u64,
+    /// Display name of the grace policy that served the run.
+    pub policy: String,
+}
+
+impl ServeReport {
+    /// Committed requests per second of wall-clock time.
+    pub fn ops_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.stats.commits() as f64 / (self.wall_ns as f64 / 1e9)
+        }
+    }
+}
+
+/// Run the full closed-loop service experiment described by `cfg` under
+/// `policy`, to completion: spawn shard workers and clients, drain, join,
+/// and snapshot the heap.
+///
+/// The resolution mode (requestor aborts vs requestor wins) follows the
+/// policy's own preference, as in the HTM simulator.
+pub fn run_server<P>(cfg: &ServeConfig, policy: P) -> ServeReport
+where
+    P: GracePolicy + Clone,
+{
+    cfg.validate();
+    let mode = policy.mode(&Conflict::pair(1000.0));
+    let stm = Stm::with_mode(cfg.keys as usize, cfg.shards, mode);
+    let queues: Vec<Arc<ShardQueue>> = (0..cfg.shards)
+        .map(|_| Arc::new(ShardQueue::new(cfg.queue_capacity)))
+        .collect();
+    let gen = RequestGen::from_config(cfg);
+
+    // Fixed fan-out order — shard workers first, clients second — keeps a
+    // run bit-reproducible from the one master seed.
+    let mut fan = SeedFanout::new(cfg.seed);
+    let worker_rngs: Vec<_> = (0..cfg.shards).map(|_| fan.stream()).collect();
+    let client_rngs: Vec<_> = (0..cfg.clients).map(|_| fan.stream()).collect();
+
+    let mut stats = ShardedStats::new(cfg.shards);
+    let mut increments_applied = 0u64;
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        let stm_ref = &stm;
+        let work_ns = cfg.work_ns;
+        let workers: Vec<_> = worker_rngs
+            .into_iter()
+            .enumerate()
+            .map(|(shard, rng)| {
+                let queue = Arc::clone(&queues[shard]);
+                let policy = policy.clone();
+                s.spawn(move || {
+                    let mut ctx = TxCtx::new(stm_ref, shard, policy, Box::new(rng));
+                    while let Some(env) = queue.pop() {
+                        let resp = execute(&mut ctx, &env.req, work_ns);
+                        env.reply.put(resp);
+                    }
+                    ctx.stats
+                })
+            })
+            .collect();
+
+        let (gen_ref, queues_ref) = (&gen, &queues[..]);
+        let (ops, think_ns) = (cfg.ops_per_client, cfg.think_ns);
+        let clients: Vec<_> = client_rngs
+            .into_iter()
+            .map(|rng| s.spawn(move || run_client(gen_ref, queues_ref, ops, think_ns, rng)))
+            .collect();
+
+        // Closed loop: every client returns only after all its admitted
+        // requests were answered, so closing afterwards leaves no request
+        // behind.
+        for c in clients {
+            let outcome = c.join().expect("client panicked");
+            stats.global.merge(&outcome.stats);
+            increments_applied += outcome.increments_applied;
+        }
+        for q in &queues {
+            q.close();
+        }
+        for (shard, w) in workers.into_iter().enumerate() {
+            stats.per_thread[shard] = w.join().expect("shard worker panicked");
+        }
+    });
+    let wall_ns = start.elapsed().as_nanos() as u64;
+    stats.global.cycles = wall_ns;
+
+    let snapshot = stm.snapshot_direct();
+    let state_sum = snapshot.iter().copied().fold(0u64, u64::wrapping_add);
+    ServeReport {
+        stats,
+        wall_ns,
+        state_sum,
+        state_checksum: checksum(&snapshot),
+        increments_applied,
+        policy: policy.name(),
+    }
+}
+
+/// Execute one request as an STM transaction on this shard's context. The
+/// transaction body re-runs from scratch on every abort (`TxCtx::run`
+/// retries until commit), so all per-attempt state lives inside the
+/// closure. `work_ns` is the in-transaction compute (spun via
+/// [`spin_ns`]) between the reads and the writes — the paper's
+/// transaction length, re-spun on every attempt.
+fn execute<P: GracePolicy>(ctx: &mut TxCtx<'_, P>, req: &Request, work_ns: u64) -> Response {
+    match req {
+        Request::Get(k) => {
+            let a = *k as usize;
+            Response::Value(ctx.run(|tx| {
+                let v = tx.read(a)?;
+                spin_ns(work_ns);
+                Ok(v)
+            }))
+        }
+        Request::Put(k, v) => {
+            let (a, v) = (*k as usize, *v);
+            ctx.run(|tx| {
+                spin_ns(work_ns);
+                tx.write(a, v)
+            });
+            Response::Written
+        }
+        Request::Add(k, delta) => {
+            let (a, delta) = (*k as usize, *delta);
+            Response::Added(ctx.run(|tx| {
+                let v = tx.read(a)?.wrapping_add(delta);
+                spin_ns(work_ns);
+                tx.write(a, v)?;
+                Ok(v)
+            }))
+        }
+        Request::Rmw { keys, delta } => {
+            let delta = *delta;
+            Response::RmwSum(ctx.run(|tx| {
+                let mut sum = 0u64;
+                for &k in keys {
+                    let v = tx.read(k as usize)?.wrapping_add(delta);
+                    tx.write(k as usize, v)?;
+                    sum = sum.wrapping_add(v);
+                }
+                spin_ns(work_ns);
+                Ok(sum)
+            }))
+        }
+    }
+}
+
+/// FNV-1a over the heap words: a stable digest of the full per-key state.
+fn checksum(words: &[u64]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &w in words {
+        h = (h ^ w).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcp_core::policy::{DetRw, NoDelay};
+    use tcp_core::randomized::RandRw;
+
+    fn small(shards: usize, rmw_fraction: f64, seed: u64) -> ServeConfig {
+        ServeConfig {
+            shards,
+            clients: 4,
+            ops_per_client: 400,
+            keys: 128,
+            zipf_s: 0.9,
+            read_fraction: 0.5,
+            rmw_fraction,
+            rmw_span: 3,
+            think_ns: 0,
+            work_ns: 0,
+            queue_capacity: 16,
+            seed,
+        }
+    }
+
+    #[test]
+    fn every_admitted_request_commits_exactly_once() {
+        let cfg = small(2, 0.2, 7);
+        let r = run_server(&cfg, RandRw);
+        let m = r.stats.merged();
+        assert_eq!(
+            m.commits + m.sheds,
+            cfg.total_requests(),
+            "commits + sheds must account for every issued request"
+        );
+        assert!(
+            m.latency_hist.count() == m.commits,
+            "one latency per commit"
+        );
+    }
+
+    #[test]
+    fn heap_conserves_admitted_increments_under_contention() {
+        // All writes are commutative increments, so whatever the
+        // interleaving and however many aborts/retries cross-shard RMWs
+        // suffer, the quiesced heap must sum to exactly the admitted
+        // increments — the STM's exactly-once commit, end to end.
+        for policy_run in [
+            run_server(&small(4, 0.5, 11), NoDelay::requestor_aborts()),
+            run_server(&small(4, 0.5, 11), DetRw),
+            run_server(&small(4, 0.5, 11), RandRw),
+        ] {
+            assert_eq!(
+                policy_run.state_sum, policy_run.increments_applied,
+                "increment conservation violated under {}",
+                policy_run.policy
+            );
+        }
+    }
+
+    #[test]
+    fn cross_shard_rmw_exercises_the_arbiter() {
+        // With a hot Zipf head and half the requests spanning 3 shards,
+        // workers must collide at least occasionally; conflicts are
+        // resolved (not crashed) and the run completes.
+        let cfg = ServeConfig {
+            shards: 4,
+            clients: 8,
+            ops_per_client: 1_000,
+            keys: 64,
+            zipf_s: 1.2,
+            rmw_fraction: 0.5,
+            think_ns: 0,
+            ..Default::default()
+        };
+        let r = run_server(&cfg, RandRw);
+        let m = r.stats.merged();
+        assert_eq!(m.commits + m.sheds, cfg.total_requests());
+        assert_eq!(r.state_sum, r.increments_applied);
+        assert!(r.ops_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn single_shard_single_client_is_conflict_free() {
+        let cfg = ServeConfig {
+            shards: 1,
+            clients: 1,
+            ops_per_client: 500,
+            keys: 32,
+            rmw_fraction: 0.3,
+            rmw_span: 4,
+            think_ns: 0,
+            ..Default::default()
+        };
+        let r = run_server(&cfg, NoDelay::requestor_aborts());
+        let m = r.stats.merged();
+        assert_eq!(m.commits, 500);
+        assert_eq!(m.aborts, 0, "a lone client can never conflict");
+        assert_eq!(
+            m.sheds, 0,
+            "one in-flight request can't overflow capacity 64"
+        );
+    }
+
+    #[test]
+    fn overload_sheds_and_accounting_stays_conserved() {
+        // Drive the shed path end to end: one slow worker (50µs of
+        // in-transaction work per request), a 2-deep queue, and 8 clients
+        // bursting with zero think time. Admission control must shed, and
+        // every shed request must be excluded from both the commit count
+        // and the heap (no double-counts, no lost envelopes).
+        let cfg = ServeConfig {
+            shards: 1,
+            clients: 8,
+            ops_per_client: 100,
+            keys: 64,
+            zipf_s: 0.0,
+            read_fraction: 0.0,
+            rmw_fraction: 0.2,
+            rmw_span: 2,
+            think_ns: 0,
+            work_ns: 50_000,
+            queue_capacity: 2,
+            seed: 9,
+        };
+        let r = run_server(&cfg, NoDelay::requestor_aborts());
+        let m = r.stats.merged();
+        assert!(
+            m.sheds > 0,
+            "a 2-deep queue against 8 bursting clients must shed"
+        );
+        assert_eq!(m.commits + m.sheds, cfg.total_requests());
+        assert_eq!(m.latency_hist.count(), m.commits, "sheds record no latency");
+        assert_eq!(
+            r.state_sum, r.increments_applied,
+            "shed requests must never reach the heap"
+        );
+        assert!(m.queue_depth_max <= 2, "depth can never exceed capacity");
+    }
+
+    #[test]
+    fn report_wall_clock_backs_throughput() {
+        let r = run_server(&small(2, 0.0, 3), NoDelay::requestor_aborts());
+        assert!(r.wall_ns > 0);
+        assert_eq!(r.stats.merged().cycles, r.wall_ns);
+        let ops = r.stats.merged().commits as f64 / (r.wall_ns as f64 / 1e9);
+        assert!((r.ops_per_sec() - ops).abs() < 1e-6);
+    }
+}

@@ -143,6 +143,21 @@ impl Stm {
     pub fn write_direct(&self, a: Addr, v: u64) {
         self.cells[a].value.store(v, Ordering::SeqCst);
     }
+
+    /// Number of transaction contexts this heap supports (the size of the
+    /// remote-kill flag table).
+    pub fn max_threads(&self) -> usize {
+        self.kill_flags.len()
+    }
+
+    /// Non-transactional snapshot of every word (only meaningful once all
+    /// transactions have quiesced — end-of-run state inspection).
+    pub fn snapshot_direct(&self) -> Vec<u64> {
+        self.cells
+            .iter()
+            .map(|c| c.value.load(Ordering::SeqCst))
+            .collect()
+    }
 }
 
 /// Per-thread transaction execution context.

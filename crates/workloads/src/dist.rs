@@ -364,6 +364,66 @@ mod tests {
     }
 
     #[test]
+    fn zipf_normalization_across_sizes_and_exponents() {
+        for n in [1usize, 2, 17, 1000] {
+            for s in [0.0, 0.7, 1.0, 2.5] {
+                let z = Zipf::new(n, s);
+                let total: f64 = (0..n).map(|k| z.pmf(k)).sum();
+                assert!(
+                    (total - 1.0).abs() < 1e-9,
+                    "n={n} s={s}: masses sum to {total}"
+                );
+                // Every mass is a probability.
+                for k in 0..n {
+                    assert!((0.0..=1.0).contains(&z.pmf(k)), "n={n} s={s} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_skew_is_monotone_in_the_exponent() {
+        // A larger exponent concentrates more mass on the hottest rank and
+        // less on the coldest.
+        let n = 64;
+        let mut prev_hot = 0.0;
+        let mut prev_cold = 1.0;
+        for s in [0.0, 0.5, 1.0, 1.5, 2.0] {
+            let z = Zipf::new(n, s);
+            assert!(
+                z.pmf(0) >= prev_hot,
+                "s={s}: hottest mass {} not increasing",
+                z.pmf(0)
+            );
+            assert!(
+                z.pmf(n - 1) <= prev_cold,
+                "s={s}: coldest mass {} not decreasing",
+                z.pmf(n - 1)
+            );
+            prev_hot = z.pmf(0);
+            prev_cold = z.pmf(n - 1);
+        }
+    }
+
+    #[test]
+    fn zipf_sampling_is_deterministic_under_a_fixed_seed() {
+        let z = Zipf::new(100, 1.1);
+        let draw = |seed: u64| -> Vec<usize> {
+            let mut rng = Xoshiro256StarStar::new(seed);
+            (0..500).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(draw(42), draw(42), "same seed must replay the sequence");
+        assert_ne!(draw(42), draw(43), "different seeds must diverge");
+        // Rebuilding the table must not change the stream either.
+        let z2 = Zipf::new(100, 1.1);
+        let mut a = Xoshiro256StarStar::new(9);
+        let mut b = Xoshiro256StarStar::new(9);
+        for _ in 0..500 {
+            assert_eq!(z.sample(&mut a), z2.sample(&mut b));
+        }
+    }
+
+    #[test]
     fn zipf_s0_is_uniform() {
         let z = Zipf::new(10, 0.0);
         for k in 0..10 {

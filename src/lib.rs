@@ -12,6 +12,7 @@
 //! | [`workloads`] | `tcp-workloads` | length distributions, §8.1 synthetic testbed, Figure 3 programs |
 //! | [`htm_sim`] | `tcp-htm-sim` | the discrete-event multicore HTM simulator (Graphite substitute) |
 //! | [`stm`] | `tcp-stm` | a TL2-style STM with pluggable grace-period conflict management |
+//! | [`server`] | `tcp-server` | sharded transactional KV service with closed-loop load generation |
 //! | [`analysis`] | `tcp-analysis` | adversarial verification of every theorem and corollary |
 //!
 //! See `README.md` for the quickstart, the crate map, and the shared
@@ -33,6 +34,7 @@
 pub use tcp_analysis as analysis;
 pub use tcp_core as core;
 pub use tcp_htm_sim as htm_sim;
+pub use tcp_server as server;
 pub use tcp_skirental as skirental;
 pub use tcp_stm as stm;
 pub use tcp_workloads as workloads;
@@ -42,6 +44,7 @@ pub mod prelude {
     pub use tcp_analysis::prelude::*;
     pub use tcp_core::prelude::*;
     pub use tcp_htm_sim::prelude::*;
+    pub use tcp_server::prelude::*;
     pub use tcp_skirental::prelude::*;
     pub use tcp_stm::prelude::*;
     pub use tcp_workloads::prelude::*;

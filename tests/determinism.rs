@@ -93,6 +93,88 @@ fn stm_same_seed_identical_stats() {
     assert_eq!(a.aborts, 0, "uncontended run must never abort");
 }
 
+/// The KV server runs real shard and client threads, so wall-clock fields
+/// (latency histogram, wait cycles) vary between runs — but the *logical*
+/// counters must not. With shard-partitioned keys and no cross-shard RMWs
+/// there is no contention at all: same seed ⇒ identical commits, aborts
+/// (= 0), sheds (= 0, capacity ≥ clients bounds the closed loop), and —
+/// because all writes are commutative increments — the exact final heap.
+#[test]
+fn server_same_seed_identical_logical_stats() {
+    let run = |seed: u64| {
+        let cfg = ServeConfig {
+            shards: 2,
+            clients: 3,
+            ops_per_client: 400,
+            keys: 128,
+            zipf_s: 0.9,
+            read_fraction: 0.5,
+            rmw_fraction: 0.0,
+            rmw_span: 2,
+            think_ns: 0,
+            work_ns: 0,
+            queue_capacity: 16,
+            seed,
+        };
+        let r = run_server(&cfg, NoDelay::requestor_aborts());
+        let m = r.stats.merged();
+        (m.commits, m.aborts, m.sheds, r.state_sum, r.state_checksum)
+    };
+    let a = run(21);
+    assert_eq!(a, run(21), "same seed must reproduce every logical counter");
+    let (commits, aborts, sheds, _, checksum) = a;
+    assert_eq!(commits, 3 * 400, "every issued request must commit");
+    assert_eq!(aborts, 0, "partitioned keys cannot conflict");
+    assert_eq!(
+        sheds, 0,
+        "capacity ≥ clients keeps the closed loop admitted"
+    );
+    assert_ne!(
+        run(22).4,
+        checksum,
+        "a different seed must draw different keys and land a different heap"
+    );
+}
+
+/// Under genuine cross-shard contention the abort counts become
+/// timing-dependent, but the *state* must stay a pure function of the
+/// seed: commutative increments make the final heap independent of
+/// interleaving, and with capacity ≥ clients no request is ever shed.
+#[test]
+fn server_cross_shard_state_is_seed_deterministic() {
+    let run = |seed: u64| {
+        let cfg = ServeConfig {
+            shards: 4,
+            clients: 6,
+            ops_per_client: 300,
+            keys: 64,
+            zipf_s: 1.1,
+            read_fraction: 0.4,
+            rmw_fraction: 0.4,
+            rmw_span: 3,
+            think_ns: 0,
+            work_ns: 0,
+            queue_capacity: 16,
+            seed,
+        };
+        let r = run_server(&cfg, RandRw);
+        let m = r.stats.merged();
+        (
+            m.commits,
+            m.sheds,
+            r.state_sum,
+            r.state_checksum,
+            r.increments_applied,
+        )
+    };
+    let a = run(31);
+    let b = run(31);
+    assert_eq!(a, b, "logical outcome must survive real-thread racing");
+    assert_eq!(a.0, 6 * 300);
+    assert_eq!(a.1, 0);
+    assert_eq!(a.2, a.4, "final heap must sum to the admitted increments");
+}
+
 /// The synthetic Figure 2 testbed reports through the same EngineStats;
 /// its internal seeding must reproduce the f64 accumulators exactly.
 #[test]

@@ -160,6 +160,116 @@ proptest! {
     }
 }
 
+mod stats_merge_properties {
+    //! The engine-layer tally is a commutative monoid (up to the order of
+    //! the raw latency-sample Vec): merging shards must give the same
+    //! aggregate whatever the grouping or order — including the new
+    //! shed/backpressure counters and the streaming latency histogram.
+
+    use super::*;
+    use rand::RngCore;
+
+    /// A pseudo-random but fully deterministic `EngineStats` derived from
+    /// one seed. f64 accumulators are small integers so that their sums
+    /// are exact and associativity can be asserted with `==`.
+    fn arb_stats(seed: u64) -> EngineStats {
+        let mut rng = Xoshiro256StarStar::new(seed);
+        let mut draw = |m: u64| rng.next_u64() % m;
+        let mut s = EngineStats {
+            commits: draw(1000),
+            fallbacks: draw(10),
+            wait_cycles: draw(100_000),
+            total_latency: draw(100_000),
+            conflicts: draw(500),
+            delayed_conflicts: draw(300),
+            saved_by_delay: draw(200),
+            sheds: draw(50),
+            queue_depth_max: draw(64),
+            cycles: draw(1_000_000),
+            ..Default::default()
+        };
+        for _ in 0..draw(6) {
+            s.record_abort(AbortKind::Conflict, draw(100));
+            s.record_abort(AbortKind::Capacity, draw(100));
+        }
+        for _ in 0..draw(8) {
+            s.record_chain(draw(20) as usize);
+        }
+        for _ in 0..draw(10) {
+            // Power-of-two OPT keeps cost/OPT exactly representable, so the
+            // f64 accumulators stay associative under reordering (the
+            // property under test is merge's algebra, not float rounding).
+            s.record_trial(draw(1000) as f64, (1u64 << draw(5)) as f64);
+        }
+        for _ in 0..draw(12) {
+            s.record_latency(draw(1 << 20));
+        }
+        s
+    }
+
+    fn merged(parts: &[&EngineStats]) -> EngineStats {
+        let mut out = EngineStats::default();
+        for p in parts {
+            out.merge(p);
+        }
+        out
+    }
+
+    /// Canonicalize the one order-sensitive field (the raw sample Vec) so
+    /// full-struct equality expresses order-independence.
+    fn canon(mut s: EngineStats) -> EngineStats {
+        s.latencies.sort_unstable();
+        s
+    }
+
+    proptest! {
+        #[test]
+        fn merge_is_associative(sa in 0u64..5000, sb in 0u64..5000, sc in 0u64..5000) {
+            let (a, b, c) = (arb_stats(sa), arb_stats(sb), arb_stats(sc));
+            let mut left = a.clone();
+            left.merge(&b);
+            left.merge(&c);
+            let mut bc = b.clone();
+            bc.merge(&c);
+            let mut right = a.clone();
+            right.merge(&bc);
+            prop_assert_eq!(left, right);
+        }
+
+        #[test]
+        fn merge_is_order_independent(sa in 0u64..5000, sb in 0u64..5000, sc in 0u64..5000) {
+            let (a, b, c) = (arb_stats(sa), arb_stats(sb), arb_stats(sc));
+            let abc = merged(&[&a, &b, &c]);
+            let cba = merged(&[&c, &b, &a]);
+            let bac = merged(&[&b, &a, &c]);
+            prop_assert_eq!(canon(abc.clone()), canon(cba));
+            prop_assert_eq!(canon(abc.clone()), canon(bac));
+            // Spot-check the counters the server leans on.
+            prop_assert_eq!(abc.sheds, a.sheds + b.sheds + c.sheds);
+            prop_assert_eq!(
+                abc.queue_depth_max,
+                a.queue_depth_max.max(b.queue_depth_max).max(c.queue_depth_max)
+            );
+            prop_assert_eq!(
+                abc.latency_hist.count(),
+                a.latency_hist.count() + b.latency_hist.count() + c.latency_hist.count()
+            );
+        }
+
+        #[test]
+        fn sharded_merged_ignores_shard_order(sa in 0u64..5000, sb in 0u64..5000, sc in 0u64..5000) {
+            let mut fwd = ShardedStats::new(0);
+            fwd.per_thread = vec![arb_stats(sa), arb_stats(sb), arb_stats(sc)];
+            fwd.global = arb_stats(sa ^ sb ^ sc);
+            let mut rev = fwd.clone();
+            rev.per_thread.reverse();
+            prop_assert_eq!(canon(fwd.merged()), canon(rev.merged()));
+            prop_assert_eq!(fwd.sheds(), rev.sheds());
+            prop_assert_eq!(fwd.commits(), rev.commits());
+        }
+    }
+}
+
 mod sim_properties {
     //! Property tests of the HTM simulator itself: random transaction
     //! programs over a small shared address space must never violate
