@@ -1,16 +1,18 @@
-//! Extension: the serving-path sweep. Run the sharded transactional KV
-//! service under closed-loop load and compare grace policies on
-//! throughput *and* tail latency across shard counts — the paper's
-//! wait-vs-abort trade-off measured on a service instead of a simulator.
+//! Extension: the latency-vs-offered-load sweep. Drive the sharded KV
+//! service **open loop** — a deterministic seeded Poisson arrival schedule
+//! whose rate is independent of service completions — across offered-load
+//! points × grace policies, and report where the sojourn time goes:
+//! queue wait (enqueue → pop) vs service (pop → response).
 //!
-//! Arms: always-abort (`NO_DELAY`, the HTM default), the deterministic §6
-//! strategy (`DET`), and the randomized §5 strategy (`RRW`).
+//! This is the scenario family the closed-loop `serve` sweep cannot open:
+//! under closed-loop load the in-flight population is bounded by the
+//! client count, so queueing delay — the quantity wait-vs-abort policies
+//! move at the tail — never builds. Open loop offers it on purpose; as
+//! the offered rate approaches capacity, queue-wait percentiles should
+//! dominate sojourn and the policies separate.
 //!
-//! Besides the TSV table, the sweep is persisted as `BENCH_serve.json`
-//! (see `tcp_bench::report`) so the repo's perf trajectory is
-//! machine-readable. Latency columns decompose the sojourn time the
-//! executors measure: `qw*` = queue wait (enqueue → pop), `p*` = sojourn
-//! (enqueue → response).
+//! Arms: `NO_DELAY`, `DET`, `RRW` (as in `serve`). Output: TSV +
+//! `BENCH_serve_load.json`.
 
 use std::sync::Arc;
 
@@ -18,15 +20,13 @@ use tcp_bench::report::{bench_report, write_report, Json};
 use tcp_bench::table;
 use tcp_core::policy::{DetRw, GracePolicy, NoDelay};
 use tcp_core::randomized::RandRw;
-use tcp_server::prelude::{run_server, ServeConfig, ServeReport};
+use tcp_server::prelude::{run_server, LoadMode, ServeConfig, ServeReport};
 
-/// One sweep row as JSON, shared with `serve_load` in spirit: counters as
-/// exact integers, latencies in nanoseconds.
-fn json_row(name: &str, shards: usize, r: &ServeReport) -> Json {
+fn json_row(name: &str, offered: f64, r: &ServeReport) -> Json {
     let m = r.stats.merged();
     Json::obj([
         ("policy", Json::from(name)),
-        ("shards", Json::from(shards)),
+        ("offered_per_sec", Json::from(offered)),
         ("commits", Json::from(m.commits)),
         ("aborts", Json::from(m.aborts)),
         ("sheds", Json::from(m.sheds)),
@@ -38,7 +38,6 @@ fn json_row(name: &str, shards: usize, r: &ServeReport) -> Json {
             "queue_wait_ns",
             Json::obj([
                 ("p50", Json::from(m.queue_wait_percentile(50.0))),
-                ("p90", Json::from(m.queue_wait_percentile(90.0))),
                 ("p99", Json::from(m.queue_wait_percentile(99.0))),
                 ("p999", Json::from(m.queue_wait_percentile(99.9))),
             ]),
@@ -47,7 +46,6 @@ fn json_row(name: &str, shards: usize, r: &ServeReport) -> Json {
             "service_ns",
             Json::obj([
                 ("p50", Json::from(m.service_percentile(50.0))),
-                ("p90", Json::from(m.service_percentile(90.0))),
                 ("p99", Json::from(m.service_percentile(99.0))),
                 ("p999", Json::from(m.service_percentile(99.9))),
             ]),
@@ -56,7 +54,6 @@ fn json_row(name: &str, shards: usize, r: &ServeReport) -> Json {
             "sojourn_ns",
             Json::obj([
                 ("p50", Json::from(m.latency_percentile(50.0))),
-                ("p90", Json::from(m.latency_percentile(90.0))),
                 ("p99", Json::from(m.latency_percentile(99.0))),
                 ("p999", Json::from(m.latency_percentile(99.9))),
             ]),
@@ -70,30 +67,37 @@ fn json_row(name: &str, shards: usize, r: &ServeReport) -> Json {
 
 fn main() {
     let quick = table::quick();
-    let ops_per_client = if quick { 1_500 } else { 15_000 };
-    let shard_counts: &[usize] = if quick { &[2, 4] } else { &[2, 4, 8] };
-    let clients = 8;
+    let clients = 4;
+    let shards = 2;
+    // Offered load points, total requests/second across the fleet. The top
+    // point is chosen to exceed a single core's service capacity so the
+    // queue-wait tail actually appears; the horizon (ops at each rate) is
+    // sized to keep every cell under a couple of seconds.
+    let offered: &[f64] = if quick {
+        &[20_000.0, 60_000.0, 120_000.0]
+    } else {
+        &[20_000.0, 40_000.0, 80_000.0, 120_000.0, 160_000.0]
+    };
+    let horizon_secs = if quick { 0.15 } else { 0.5 };
     let base = ServeConfig {
+        shards,
         clients,
-        ops_per_client,
         keys: 1024,
         zipf_s: 1.1,
         read_fraction: 0.5,
         rmw_fraction: 0.25,
         rmw_span: 4,
-        think_ns: 500,
-        // In-transaction compute widens the conflict window so the grace
-        // policies actually arbitrate (on multicore hosts; a single-core
-        // runner only overlaps at preemption boundaries).
+        think_ns: 0, // unused in open loop
         work_ns: 2_000,
-        queue_capacity: 64,
+        queue_capacity: 256,
         seed: 42,
         ..Default::default()
     };
     println!(
-        "# serve: sharded KV, {clients} closed-loop clients x {ops_per_client} ops, \
-         keys={}, zipf_s={}, read={}, rmw={}@{} keys, work={}ns, cap={}, batch={} \
-         (latencies in ns; qw = queue wait, p = sojourn)",
+        "# serve_load: open-loop sharded KV, {clients} clients, {shards} shards, \
+         keys={}, zipf_s={}, read={}, rmw={}@{} keys, work={}ns, cap={}, batch={}, \
+         window=64, horizon={horizon_secs}s/point (latencies in ns; qw = queue wait, \
+         svc = service, p = sojourn)",
         base.keys,
         base.zipf_s,
         base.read_fraction,
@@ -104,11 +108,13 @@ fn main() {
         base.batch_max
     );
     table::header(&[
-        "policy", "shards", "commits", "aborts", "sheds", "ops/s", "qw50", "qw99", "p50", "p90",
-        "p99", "p999",
+        "policy", "offered", "commits", "sheds", "ops/s", "qw50", "qw99", "qw999", "svc50",
+        "svc99", "p50", "p99", "p999",
     ]);
     let mut rows = Vec::new();
-    for &shards in shard_counts {
+    for &rate in offered {
+        let rate_per_client = rate / clients as f64;
+        let ops_per_client = (rate_per_client * horizon_secs).max(200.0) as u64;
         let arms: Vec<(&str, Arc<dyn GracePolicy>)> = vec![
             ("NO_DELAY", Arc::new(NoDelay::requestor_wins())),
             ("DET", Arc::new(DetRw)),
@@ -116,7 +122,11 @@ fn main() {
         ];
         for (name, policy) in arms {
             let cfg = ServeConfig {
-                shards,
+                ops_per_client,
+                mode: LoadMode::Open {
+                    rate_per_client,
+                    window: 64,
+                },
                 ..base.clone()
             };
             let r = run_server(&cfg, policy);
@@ -124,41 +134,46 @@ fn main() {
             assert_eq!(
                 m.commits + m.sheds,
                 cfg.total_requests(),
-                "lost requests under {name}"
+                "lost requests under {name} at {rate} req/s"
             );
             assert_eq!(r.reply_faults, 0, "misdelivered replies under {name}");
             table::row(&[
                 name.into(),
-                shards.to_string(),
+                table::num(rate),
                 m.commits.to_string(),
-                m.aborts.to_string(),
                 m.sheds.to_string(),
                 table::num(r.ops_per_sec()),
                 m.queue_wait_percentile(50.0).to_string(),
                 m.queue_wait_percentile(99.0).to_string(),
+                m.queue_wait_percentile(99.9).to_string(),
+                m.service_percentile(50.0).to_string(),
+                m.service_percentile(99.0).to_string(),
                 m.latency_percentile(50.0).to_string(),
-                m.latency_percentile(90.0).to_string(),
                 m.latency_percentile(99.0).to_string(),
                 m.latency_percentile(99.9).to_string(),
             ]);
-            rows.push(json_row(name, shards, &r));
+            rows.push(json_row(name, rate, &r));
         }
     }
     let config = Json::obj([
-        ("mode", Json::from("closed")),
+        ("mode", Json::from("open")),
         ("quick", Json::from(quick)),
         ("clients", Json::from(clients)),
-        ("ops_per_client", Json::from(ops_per_client)),
+        ("shards", Json::from(shards)),
+        ("window", Json::from(64u64)),
+        ("horizon_secs", Json::from(horizon_secs)),
         ("keys", Json::from(base.keys)),
         ("zipf_s", Json::from(base.zipf_s)),
         ("read_fraction", Json::from(base.read_fraction)),
         ("rmw_fraction", Json::from(base.rmw_fraction)),
         ("rmw_span", Json::from(base.rmw_span)),
-        ("think_ns", Json::from(base.think_ns)),
         ("work_ns", Json::from(base.work_ns)),
         ("queue_capacity", Json::from(base.queue_capacity)),
         ("batch_max", Json::from(base.batch_max)),
         ("seed", Json::from(base.seed)),
     ]);
-    write_report("BENCH_serve.json", &bench_report("serve", config, rows));
+    write_report(
+        "BENCH_serve_load.json",
+        &bench_report("serve_load", config, rows),
+    );
 }

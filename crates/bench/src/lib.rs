@@ -24,12 +24,16 @@
 //! | `backoff_ablation` | §7 abort-cost inflation on/off (extension) |
 //! | `tail_latency` | p50/p99/p99.9 commit latency per policy (extension) |
 //! | `serve` | sharded KV service: policies vs throughput + tail latency (extension) |
+//! | `serve_load` | open-loop offered-load × policy sweep: sojourn = queue-wait + service percentiles (extension) |
 //! | `tcp` | general-purpose CLI driver (`tcp sim/synthetic/game/list`) |
 //!
 //! Every binary prints a TSV table to stdout; pass `--quick` to shrink the
-//! trial counts by 10× for smoke-testing.
+//! trial counts by 10× for smoke-testing. The serving bins additionally
+//! write machine-readable sweeps (`BENCH_serve.json`,
+//! `BENCH_serve_load.json`) through [`report`].
 
 pub mod cli;
+pub mod report;
 
 /// Shared output helpers for the figure binaries.
 pub mod table {

@@ -105,8 +105,26 @@ pub struct EngineStats {
     /// Streaming log-bucketed view of the same latencies — what
     /// [`latency_percentile`](Self::latency_percentile) reads. High-volume
     /// paths (the KV server) record here only, via
-    /// [`record_latency_streaming`](Self::record_latency_streaming).
+    /// [`record_latency_streaming`](Self::record_latency_streaming). On the
+    /// serving path this is the **sojourn time** (enqueue → response), which
+    /// decomposes into [`queue_wait_hist`](Self::queue_wait_hist) +
+    /// [`service_hist`](Self::service_hist).
     pub latency_hist: LatencyHistogram,
+    /// Queue-wait histogram: time a request sat in a bounded queue before an
+    /// executor popped it — the component of sojourn time that grace-period
+    /// policies move under sustained load.
+    pub queue_wait_hist: LatencyHistogram,
+    /// Service histogram: pop → response, i.e. sojourn minus queue wait
+    /// (includes every abort/retry of the transaction).
+    pub service_hist: LatencyHistogram,
+    /// Width of one throughput-sample interval (same time unit as `cycles`);
+    /// `0` disables interval sampling. Shards of one run must agree on the
+    /// width for [`merge`](Self::merge) to make sense.
+    pub interval_ns: u64,
+    /// Commits per interval since run start (`interval_commits[i]` counts
+    /// commits with `elapsed ∈ [i·interval_ns, (i+1)·interval_ns)`). Merging
+    /// adds element-wise, padding the shorter run.
+    pub interval_commits: Vec<u64>,
     /// Monte-Carlo trials accounted in the cost accumulators below.
     pub trials: u64,
     /// Total online cost across trials (cost-model substrates).
@@ -142,6 +160,22 @@ impl EngineStats {
         self.cycles = self.cycles.max(other.cycles);
         self.latencies.extend_from_slice(&other.latencies);
         self.latency_hist.merge(&other.latency_hist);
+        self.queue_wait_hist.merge(&other.queue_wait_hist);
+        self.service_hist.merge(&other.service_hist);
+        if self.interval_ns == 0 {
+            self.interval_ns = other.interval_ns;
+        }
+        if self.interval_commits.len() < other.interval_commits.len() {
+            self.interval_commits
+                .resize(other.interval_commits.len(), 0);
+        }
+        for (a, b) in self
+            .interval_commits
+            .iter_mut()
+            .zip(other.interval_commits.iter())
+        {
+            *a += b;
+        }
         self.trials += other.trials;
         self.total_cost += other.total_cost;
         self.total_opt += other.total_opt;
@@ -237,6 +271,57 @@ impl EngineStats {
     /// serving path, where keeping every sample would grow without bound.
     pub fn record_latency_streaming(&mut self, v: u64) {
         self.latency_hist.record(v);
+    }
+
+    /// Record the queue wait of one request (enqueue → pop), streaming.
+    pub fn record_queue_wait(&mut self, v: u64) {
+        self.queue_wait_hist.record(v);
+    }
+
+    /// Record the service time of one request (pop → response), streaming.
+    pub fn record_service(&mut self, v: u64) {
+        self.service_hist.record(v);
+    }
+
+    /// Queue-wait percentile (`p ∈ [0, 100]`) from the streaming histogram;
+    /// 0 when no queue waits were recorded.
+    pub fn queue_wait_percentile(&self, p: f64) -> u64 {
+        self.queue_wait_hist.percentile(p)
+    }
+
+    /// Service-time percentile (`p ∈ [0, 100]`) from the streaming
+    /// histogram; 0 when no service times were recorded.
+    pub fn service_percentile(&self, p: f64) -> u64 {
+        self.service_hist.percentile(p)
+    }
+
+    /// Account one commit to its throughput-sample interval. `elapsed` is
+    /// time since run start in the same unit as
+    /// [`interval_ns`](Self::interval_ns); a no-op when sampling is
+    /// disabled.
+    pub fn record_interval_commit(&mut self, elapsed: u64) {
+        if self.interval_ns == 0 {
+            return;
+        }
+        let idx = (elapsed / self.interval_ns) as usize;
+        if self.interval_commits.len() <= idx {
+            self.interval_commits.resize(idx + 1, 0);
+        }
+        self.interval_commits[idx] += 1;
+    }
+
+    /// Per-interval throughput samples in commits per second, assuming
+    /// `interval_ns` is in nanoseconds (the serving path's convention).
+    /// Empty when interval sampling was disabled.
+    pub fn throughput_samples(&self) -> Vec<f64> {
+        if self.interval_ns == 0 {
+            return Vec::new();
+        }
+        let secs = self.interval_ns as f64 / 1e9;
+        self.interval_commits
+            .iter()
+            .map(|&c| c as f64 / secs)
+            .collect()
     }
 
     /// Latency percentile over committed transactions (`p ∈ [0, 100]`),
@@ -370,9 +455,23 @@ impl ShardedStats {
         self.global.record_chain(k);
     }
 
-    /// Latency percentile over the run-global streaming histogram.
+    /// Latency percentile over every shard's streaming histogram plus the
+    /// run-global one (executors record per-thread, clients run-global).
     pub fn latency_percentile(&self, p: f64) -> u64 {
-        self.global.latency_percentile(p)
+        let mut h = self.global.latency_hist.clone();
+        for t in &self.per_thread {
+            h.merge(&t.latency_hist);
+        }
+        h.percentile(p)
+    }
+
+    /// Queue-wait percentile over every shard's streaming histogram.
+    pub fn queue_wait_percentile(&self, p: f64) -> u64 {
+        let mut h = self.global.queue_wait_hist.clone();
+        for t in &self.per_thread {
+            h.merge(&t.queue_wait_hist);
+        }
+        h.percentile(p)
     }
 }
 
@@ -638,6 +737,75 @@ mod tests {
         );
         assert_eq!(s.latency_percentile(100.0), 30);
         assert_eq!(s.latency_percentile_exact(100.0), 0, "no raw samples kept");
+    }
+
+    #[test]
+    fn queue_wait_and_service_histograms_merge_independently() {
+        let mut a = EngineStats::default();
+        a.record_queue_wait(10);
+        a.record_queue_wait(30);
+        a.record_service(5);
+        a.record_latency_streaming(35);
+        let mut b = EngineStats::default();
+        b.record_queue_wait(50);
+        b.record_service(7);
+        a.merge(&b);
+        assert_eq!(a.queue_wait_hist.count(), 3);
+        assert_eq!(a.queue_wait_percentile(100.0), 50);
+        assert_eq!(a.queue_wait_percentile(0.0), 10);
+        assert_eq!(a.service_hist.count(), 2);
+        assert_eq!(a.service_percentile(100.0), 7);
+        // The sojourn histogram is untouched by queue-wait/service records.
+        assert_eq!(a.latency_hist.count(), 1);
+        assert_eq!(EngineStats::default().queue_wait_percentile(50.0), 0);
+        assert_eq!(EngineStats::default().service_percentile(50.0), 0);
+    }
+
+    #[test]
+    fn interval_commits_bucket_and_merge_elementwise() {
+        let mut a = EngineStats {
+            interval_ns: 100,
+            ..Default::default()
+        };
+        a.record_interval_commit(0); // interval 0
+        a.record_interval_commit(99); // interval 0
+        a.record_interval_commit(250); // interval 2
+        assert_eq!(a.interval_commits, vec![2, 0, 1]);
+        // A shard that ran longer pads the shorter one on merge.
+        let mut b = EngineStats {
+            interval_ns: 100,
+            ..Default::default()
+        };
+        b.record_interval_commit(50);
+        b.record_interval_commit(350); // interval 3
+        a.merge(&b);
+        assert_eq!(a.interval_commits, vec![3, 0, 1, 1]);
+        // 100 ns intervals → counts × 1e7 per second.
+        let samples = a.throughput_samples();
+        assert_eq!(samples.len(), 4);
+        assert!((samples[0] - 3e7).abs() < 1.0);
+        // Disabled sampling records nothing and reports nothing.
+        let mut off = EngineStats::default();
+        off.record_interval_commit(123);
+        assert!(off.interval_commits.is_empty());
+        assert!(off.throughput_samples().is_empty());
+        // Merging into a disabled tally adopts the other's interval width.
+        off.merge(&a);
+        assert_eq!(off.interval_ns, 100);
+        assert_eq!(off.interval_commits, vec![3, 0, 1, 1]);
+    }
+
+    #[test]
+    fn sharded_queue_wait_percentile_spans_shards() {
+        let mut s = ShardedStats::new(2);
+        s.per_thread[0].record_queue_wait(10);
+        s.per_thread[1].record_queue_wait(40);
+        s.global.record_queue_wait(20);
+        assert_eq!(s.queue_wait_percentile(100.0), 40);
+        assert_eq!(s.queue_wait_percentile(0.0), 10);
+        // Per-thread latency records are visible through the sharded view.
+        s.per_thread[0].record_latency_streaming(7);
+        assert_eq!(s.latency_percentile(100.0), 7);
     }
 
     #[test]

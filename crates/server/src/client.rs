@@ -1,16 +1,23 @@
-//! The deterministic closed-loop load generator.
+//! The deterministic load generators: closed loop and open loop.
 //!
-//! Each client thread owns one `SeedFanout` substream and loops: draw a
-//! request (Zipf/uniform key skew, read/write/RMW mix), submit it to the
-//! home shard's bounded queue, block for the response, record the
-//! end-to-end latency into the streaming histogram, think, repeat. The
-//! *request sequence* is a pure function of the substream — sheds and
-//! latencies vary with timing, the offered load does not.
+//! Each client thread owns one `SeedFanout` substream. In **closed-loop**
+//! mode it loops: draw a request (Zipf/uniform key skew, read/write/RMW
+//! mix), submit it through the [`Router`], block for the response, think,
+//! repeat — the in-flight population is bounded at `clients`, so offered
+//! load self-clocks to service capacity and queueing delay never builds.
 //!
-//! Closed-loop clients bound the in-flight population at `clients`, the
-//! load model under which "Are Lock-Free Concurrent Algorithms Practically
-//! Wait-Free?" measures scheduler-driven progress; the shed counter plus
-//! `queue_depth_max` make the backpressure the loop generates observable.
+//! In **open-loop** mode the client instead follows a deterministic seeded
+//! Poisson arrival schedule: request *i* is submitted at absolute offset
+//! `Σ gap_j` from run start regardless of completions (up to a bounded
+//! outstanding `window`), which is the load model under which queueing
+//! delay — and therefore the wait-vs-abort policy trade-off at the tail —
+//! actually materializes. In both modes the *request sequence and
+//! schedule* are pure functions of the substream — sheds vary with timing,
+//! the offered load does not.
+//!
+//! Latency is measured by the executors (enqueue → pop → response), not
+//! here: the enqueue timestamp each submission stamps is what lets sojourn
+//! time decompose into queue-wait + service.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -22,7 +29,8 @@ use tcp_workloads::dist::Zipf;
 
 use crate::config::ServeConfig;
 use crate::protocol::{Key, Request};
-use crate::queue::{Envelope, ReplyCell, ShardQueue};
+use crate::queue::ReplyCell;
+use crate::router::Router;
 
 /// Key-selection distribution shared by every client.
 #[derive(Clone)]
@@ -87,39 +95,35 @@ impl RequestGen {
 
 /// What one client thread hands back at the end of the run.
 pub struct ClientOutcome {
-    /// Sheds, max observed queue depth, and the streaming latency
-    /// histogram (end-to-end: submit → response).
+    /// Sheds and max observed queue depth (latency histograms live in the
+    /// executors' shards, where sojourn time is measured).
     pub stats: EngineStats,
     /// Heap increments this client's *admitted* requests applied — the
     /// conservation invariant's right-hand side.
     pub increments_applied: u64,
+    /// Reply-cell misdeliveries observed by this client's cells:
+    /// duplicate `put`s + stale-generation `put`s (0 in a healthy run).
+    pub reply_faults: u64,
 }
 
 /// Run one closed-loop client to completion.
 pub fn run_client(
     gen: &RequestGen,
-    queues: &[Arc<ShardQueue>],
+    router: &Router,
     ops: u64,
     think_ns: u64,
     mut rng: Xoshiro256StarStar,
 ) -> ClientOutcome {
-    let shards = queues.len();
     let reply = Arc::new(ReplyCell::new());
     let mut stats = EngineStats::default();
     let mut increments_applied = 0u64;
     for _ in 0..ops {
         let req = gen.draw(&mut rng);
-        let shard = req.home_shard(shards);
         let increments = req.increments();
-        let t0 = Instant::now();
-        let env = Envelope {
-            req,
-            reply: Arc::clone(&reply),
-        };
-        match queues[shard].try_push(env) {
+        let tag = reply.issue();
+        match router.submit(req, &reply, tag) {
             Ok(depth) => {
                 let _resp = reply.take();
-                stats.record_latency_streaming(t0.elapsed().as_nanos() as u64);
                 stats.queue_depth_max = stats.queue_depth_max.max(depth as u64);
                 increments_applied += increments;
             }
@@ -127,9 +131,104 @@ pub fn run_client(
         }
         spin_ns(think_ns);
     }
+    let (dup, stale) = reply.faults();
     ClientOutcome {
         stats,
         increments_applied,
+        reply_faults: dup + stale,
+    }
+}
+
+/// One entry of the precomputed open-loop schedule: the request and its
+/// absolute submission offset from run start, in nanoseconds.
+pub type Arrival = (Request, u64);
+
+/// Draw a client's full open-loop arrival schedule: requests from `gen`,
+/// exponential inter-arrival gaps with mean `1e9 / rate_per_sec` ns (a
+/// Poisson process of the offered rate). Pure function of the substream —
+/// the backbone of the same-seed determinism guarantee.
+pub fn draw_schedule(
+    gen: &RequestGen,
+    ops: u64,
+    rate_per_sec: f64,
+    rng: &mut dyn RngCore,
+) -> Vec<Arrival> {
+    let mean_gap_ns = 1e9 / rate_per_sec;
+    let mut at_ns = 0u64;
+    (0..ops)
+        .map(|_| {
+            let req = gen.draw(rng);
+            let u = uniform01(rng);
+            let gap = (-(1.0 - u).ln() * mean_gap_ns).round() as u64;
+            at_ns += gap;
+            (req, at_ns)
+        })
+        .collect()
+}
+
+/// Run one open-loop client to completion: submit on the schedule, cap
+/// outstanding requests at `window`, never wait for a response except to
+/// reclaim a window slot.
+///
+/// Each of the `window` reply cells is reused across `ops/window` requests
+/// with a fresh generation per reuse, so a stale or duplicate delivery is
+/// detected rather than silently corrupting a later request's response.
+pub fn run_client_open(
+    gen: &RequestGen,
+    router: &Router,
+    ops: u64,
+    rate_per_sec: f64,
+    window: usize,
+    mut rng: Xoshiro256StarStar,
+) -> ClientOutcome {
+    let schedule = draw_schedule(gen, ops, rate_per_sec, &mut rng);
+    let cells: Vec<Arc<ReplyCell>> = (0..window).map(|_| Arc::new(ReplyCell::new())).collect();
+    // Whether cell `i % window` has an outstanding (admitted, unreaped)
+    // request; a shed request never gets a response, so its slot is free.
+    let mut outstanding = vec![false; window];
+    let mut stats = EngineStats::default();
+    let mut increments_applied = 0u64;
+    let start = Instant::now();
+    for (i, (req, at_ns)) in schedule.into_iter().enumerate() {
+        let slot = i % window;
+        // Bounded window: reclaim the slot's previous request first. This
+        // is the only place an open-loop client blocks on the service.
+        if outstanding[slot] {
+            let _resp = cells[slot].take();
+            outstanding[slot] = false;
+        }
+        // Pace to the absolute schedule (a stalled window resumes with a
+        // burst, as a true open-loop generator must).
+        spin_until(start, at_ns);
+        let increments = req.increments();
+        let tag = cells[slot].issue();
+        match router.submit(req, &cells[slot], tag) {
+            Ok(depth) => {
+                stats.queue_depth_max = stats.queue_depth_max.max(depth as u64);
+                increments_applied += increments;
+                outstanding[slot] = true;
+            }
+            Err(_shed) => stats.sheds += 1,
+        }
+    }
+    // Reap the tail of the window so the caller knows every admitted
+    // request was answered.
+    for (slot, cell) in cells.iter().enumerate() {
+        if outstanding[slot] {
+            let _resp = cell.take();
+        }
+    }
+    let reply_faults = cells
+        .iter()
+        .map(|c| {
+            let (dup, stale) = c.faults();
+            dup + stale
+        })
+        .sum();
+    ClientOutcome {
+        stats,
+        increments_applied,
+        reply_faults,
     }
 }
 
@@ -141,6 +240,14 @@ pub(crate) fn spin_ns(ns: u64) {
     }
     let t0 = Instant::now();
     while (t0.elapsed().as_nanos() as u64) < ns {
+        std::hint::spin_loop();
+    }
+}
+
+/// Spin until `offset_ns` nanoseconds past `start` (absolute pacing, so
+/// schedule error does not accumulate across arrivals).
+fn spin_until(start: Instant, offset_ns: u64) {
+    while (start.elapsed().as_nanos() as u64) < offset_ns {
         std::hint::spin_loop();
     }
 }
@@ -165,6 +272,26 @@ mod tests {
         };
         assert_eq!(draw(3), draw(3));
         assert_ne!(draw(3), draw(4));
+    }
+
+    #[test]
+    fn open_loop_schedule_is_seed_deterministic_and_paced() {
+        let gen = RequestGen::from_config(&cfg());
+        let draw = |seed: u64| {
+            let mut rng = Xoshiro256StarStar::new(seed);
+            draw_schedule(&gen, 500, 100_000.0, &mut rng)
+        };
+        let a = draw(9);
+        assert_eq!(a, draw(9), "schedule must be a pure function of the seed");
+        assert_ne!(a, draw(10));
+        // Offsets are non-decreasing and the mean gap tracks the rate
+        // (10 µs at 100k req/s) within sampling noise.
+        assert!(a.windows(2).all(|w| w[0].1 <= w[1].1));
+        let mean_gap = a.last().unwrap().1 as f64 / a.len() as f64;
+        assert!(
+            (5_000.0..20_000.0).contains(&mean_gap),
+            "mean gap {mean_gap} far from 10µs"
+        );
     }
 
     #[test]

@@ -1,5 +1,29 @@
-//! Service configuration: shard/client topology, workload shape, and the
-//! admission-control knob.
+//! Service configuration: shard/client topology, workload shape, the load
+//! model (closed vs open loop), and the admission-control knob.
+
+/// How the client fleet offers load.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub enum LoadMode {
+    /// Closed loop: each client keeps exactly one request outstanding and
+    /// thinks `think_ns` between response and next request. Offered load
+    /// self-clocks to service capacity, so queueing delay never builds —
+    /// the mode for measuring peak throughput.
+    #[default]
+    Closed,
+    /// Open loop: each client submits on a deterministic seeded Poisson
+    /// arrival schedule at `rate_per_client` requests/second, regardless of
+    /// completions, with at most `window` requests outstanding (the
+    /// schedule stalls on the oldest outstanding request when the window
+    /// is full). Offered load is independent of service rate, so queueing
+    /// delay — the quantity grace policies move at the tail — is actually
+    /// offered and measured.
+    Open {
+        /// Offered arrival rate per client, requests per second.
+        rate_per_client: f64,
+        /// Maximum outstanding requests per client.
+        window: usize,
+    },
+}
 
 /// Everything a serving run needs, reproducible from one `seed`.
 #[derive(Clone, Debug)]
@@ -7,7 +31,8 @@ pub struct ServeConfig {
     /// Shard (worker thread) count; keys partition across shards by
     /// `key % shards`.
     pub shards: usize,
-    /// Closed-loop client thread count (each keeps one request in flight).
+    /// Client thread count (one outstanding request each in closed loop,
+    /// up to `window` in open loop).
     pub clients: usize,
     /// Requests each client issues before the run ends.
     pub ops_per_client: u64,
@@ -22,6 +47,7 @@ pub struct ServeConfig {
     /// Keys touched by one RMW transaction (may span shards).
     pub rmw_span: usize,
     /// Closed-loop think time between requests, in nanoseconds (spin).
+    /// Ignored in open-loop mode, where the arrival schedule paces clients.
     pub think_ns: u64,
     /// Per-request compute performed *inside* the transaction (between the
     /// reads and the writes), in nanoseconds — the service analogue of the
@@ -32,6 +58,16 @@ pub struct ServeConfig {
     /// Bounded per-shard queue capacity — the backpressure knob. A full
     /// queue sheds incoming requests (counted in `EngineStats::sheds`).
     pub queue_capacity: usize,
+    /// Load model: closed loop (default) or open loop with a seeded
+    /// arrival schedule.
+    pub mode: LoadMode,
+    /// Most envelopes a shard executor pops per batch. Batching amortizes
+    /// the queue's wakeup handshake and the timestamp read across
+    /// requests; `1` degenerates to the old one-at-a-time worker loop.
+    pub batch_max: usize,
+    /// Width of one per-interval throughput sample in nanoseconds;
+    /// `0` disables interval sampling.
+    pub stats_interval_ns: u64,
     /// Master seed fanned out to every shard worker and client.
     pub seed: u64,
 }
@@ -50,6 +86,9 @@ impl Default for ServeConfig {
             think_ns: 500,
             work_ns: 0,
             queue_capacity: 64,
+            mode: LoadMode::Closed,
+            batch_max: 16,
+            stats_interval_ns: 10_000_000,
             seed: 42,
         }
     }
@@ -72,11 +111,34 @@ impl ServeConfig {
             "rmw_span must be in 1..=keys"
         );
         assert!(self.queue_capacity >= 1, "queue capacity must be positive");
+        assert!(self.batch_max >= 1, "batch_max must be positive");
+        if let LoadMode::Open {
+            rate_per_client,
+            window,
+        } = self.mode
+        {
+            assert!(
+                rate_per_client.is_finite() && rate_per_client > 0.0,
+                "open-loop rate must be a positive finite rate"
+            );
+            assert!(window >= 1, "open-loop window must admit one request");
+        }
     }
 
     /// Total requests the client fleet issues.
     pub fn total_requests(&self) -> u64 {
         self.clients as u64 * self.ops_per_client
+    }
+
+    /// Total offered arrival rate in requests/second (open loop only;
+    /// `None` for closed loop, where the rate self-clocks).
+    pub fn offered_rate(&self) -> Option<f64> {
+        match self.mode {
+            LoadMode::Closed => None,
+            LoadMode::Open {
+                rate_per_client, ..
+            } => Some(rate_per_client * self.clients as f64),
+        }
     }
 }
 
@@ -97,5 +159,55 @@ mod tests {
             ..Default::default()
         }
         .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "batch_max")]
+    fn zero_batch_rejected() {
+        ServeConfig {
+            batch_max: 0,
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "open-loop rate")]
+    fn non_positive_open_rate_rejected() {
+        ServeConfig {
+            mode: LoadMode::Open {
+                rate_per_client: 0.0,
+                window: 4,
+            },
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "open-loop window")]
+    fn zero_window_rejected() {
+        ServeConfig {
+            mode: LoadMode::Open {
+                rate_per_client: 1e4,
+                window: 0,
+            },
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn offered_rate_totals_across_clients() {
+        assert_eq!(ServeConfig::default().offered_rate(), None);
+        let open = ServeConfig {
+            clients: 4,
+            mode: LoadMode::Open {
+                rate_per_client: 2_500.0,
+                window: 8,
+            },
+            ..Default::default()
+        };
+        assert_eq!(open.offered_rate(), Some(10_000.0));
     }
 }

@@ -1,0 +1,234 @@
+//! Batch-executing shard workers — the back half of the request path
+//! (client → router → shard ring → **batch executor** → STM).
+//!
+//! One executor per shard drains its bounded lock-free ring in batches
+//! (up to `batch_max` envelopes per [`ShardQueue::pop_batch`]), executing
+//! every request as an STM transaction through one long-lived
+//! [`TxCtx`](tcp_stm::runtime::TxCtx). Batching amortizes the queue's
+//! park/unpark handshake, the pop-side timestamp read, and — because the
+//! context recycles its read/write-set allocations — the per-transaction
+//! setup across the batch.
+//!
+//! The executor is also where latency is measured and decomposed:
+//!
+//! * **queue wait** = start-of-service − enqueue time (ring wait plus any
+//!   head-of-line blocking behind batch predecessors),
+//! * **service** = response − start-of-service (the request's own
+//!   execution, all aborts/retries included),
+//! * **sojourn** = queue wait + service, the end-to-end quantity whose
+//!   tail percentiles the policy comparison reports.
+//!
+//! Every conflict a cross-shard RMW provokes consults the shared
+//! [`ConflictArbiter`](tcp_core::engine::ConflictArbiter) for its
+//! wait/abort decision, exactly like the offline substrates.
+
+use std::time::Instant;
+
+use tcp_core::engine::EngineStats;
+use tcp_core::policy::GracePolicy;
+use tcp_core::rng::Xoshiro256StarStar;
+use tcp_stm::runtime::{Stm, TxCtx};
+
+use crate::client::spin_ns;
+use crate::protocol::{Request, Response};
+use crate::queue::ShardQueue;
+
+/// Everything one shard executor needs beyond its queue.
+pub struct ExecutorConfig {
+    /// Shard index = STM thread id of this executor's context.
+    pub shard: usize,
+    /// Most envelopes popped per batch (≥ 1).
+    pub batch_max: usize,
+    /// In-transaction compute per request, nanoseconds.
+    pub work_ns: u64,
+    /// Throughput-sample interval width, nanoseconds (0 = disabled).
+    pub stats_interval_ns: u64,
+    /// Run epoch: interval samples bucket `now − run_start`.
+    pub run_start: Instant,
+}
+
+/// Drain `queue` to exhaustion (until it is closed and empty), executing
+/// every request on `stm` under `policy`. Returns the shard's tally:
+/// commits/aborts from the STM, queue-wait + service + sojourn histograms,
+/// and per-interval throughput samples.
+pub fn run_executor<P: GracePolicy>(
+    stm: &Stm,
+    policy: P,
+    rng: Xoshiro256StarStar,
+    queue: &ShardQueue,
+    cfg: &ExecutorConfig,
+) -> EngineStats {
+    let mut ctx = TxCtx::new(stm, cfg.shard, policy, Box::new(rng));
+    ctx.stats.interval_ns = cfg.stats_interval_ns;
+    let mut batch = Vec::with_capacity(cfg.batch_max);
+    loop {
+        if queue.pop_batch(cfg.batch_max, &mut batch) == 0 {
+            break;
+        }
+        // Each envelope's service clock starts when its own execution
+        // does: the batch-pop timestamp for the first, the previous
+        // envelope's completion for the rest. Head-of-line blocking behind
+        // batch predecessors therefore counts as queue wait, not service —
+        // otherwise the last envelope of a full batch would report up to
+        // batch_max× its true service time.
+        let mut service_start = Instant::now();
+        for env in batch.drain(..) {
+            let queue_wait = service_start
+                .saturating_duration_since(env.enqueued_at)
+                .as_nanos() as u64;
+            let resp = execute(&mut ctx, &env.req, cfg.work_ns);
+            let done = Instant::now();
+            let service = done.saturating_duration_since(service_start).as_nanos() as u64;
+            ctx.stats.record_queue_wait(queue_wait);
+            ctx.stats.record_service(service);
+            ctx.stats
+                .record_latency_streaming(queue_wait.saturating_add(service));
+            ctx.stats.record_interval_commit(
+                done.saturating_duration_since(cfg.run_start).as_nanos() as u64,
+            );
+            // Misdeliveries are counted inside the cell and surfaced via
+            // `ServeReport::reply_faults`; nothing to do on this side.
+            let _ = env.reply.put(env.gen, resp);
+            service_start = done;
+        }
+    }
+    ctx.stats
+}
+
+/// Execute one request as an STM transaction on this shard's context. The
+/// transaction body re-runs from scratch on every abort (`TxCtx::run`
+/// retries until commit), so all per-attempt state lives inside the
+/// closure. `work_ns` is the in-transaction compute (spun via
+/// [`spin_ns`]) between the reads and the writes — the paper's
+/// transaction length, re-spun on every attempt.
+pub fn execute<P: GracePolicy>(ctx: &mut TxCtx<'_, P>, req: &Request, work_ns: u64) -> Response {
+    match req {
+        Request::Get(k) => {
+            let a = *k as usize;
+            Response::Value(ctx.run(|tx| {
+                let v = tx.read(a)?;
+                spin_ns(work_ns);
+                Ok(v)
+            }))
+        }
+        Request::Put(k, v) => {
+            let (a, v) = (*k as usize, *v);
+            ctx.run(|tx| {
+                spin_ns(work_ns);
+                tx.write(a, v)
+            });
+            Response::Written
+        }
+        Request::Add(k, delta) => {
+            let (a, delta) = (*k as usize, *delta);
+            Response::Added(ctx.run(|tx| {
+                let v = tx.read(a)?.wrapping_add(delta);
+                spin_ns(work_ns);
+                tx.write(a, v)?;
+                Ok(v)
+            }))
+        }
+        Request::Rmw { keys, delta } => {
+            let delta = *delta;
+            Response::RmwSum(ctx.run(|tx| {
+                let mut sum = 0u64;
+                for &k in keys {
+                    let v = tx.read(k as usize)?.wrapping_add(delta);
+                    tx.write(k as usize, v)?;
+                    sum = sum.wrapping_add(v);
+                }
+                spin_ns(work_ns);
+                Ok(sum)
+            }))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::{Envelope, ReplyCell};
+    use std::sync::Arc;
+    use tcp_core::policy::NoDelay;
+
+    fn drain_config(shard: usize) -> ExecutorConfig {
+        ExecutorConfig {
+            shard,
+            batch_max: 4,
+            work_ns: 0,
+            stats_interval_ns: 1_000_000,
+            run_start: Instant::now(),
+        }
+    }
+
+    #[test]
+    fn executor_drains_batches_and_decomposes_latency() {
+        let stm = Stm::new(64, 1);
+        let queue = ShardQueue::new(32);
+        let cells: Vec<_> = (0..10).map(|_| Arc::new(ReplyCell::new())).collect();
+        for (k, cell) in cells.iter().enumerate() {
+            let gen = cell.issue();
+            queue
+                .try_push(Envelope::new(
+                    Request::Add(k as u64, 1),
+                    Arc::clone(cell),
+                    gen,
+                ))
+                .unwrap_or_else(|_| panic!("push"));
+        }
+        queue.close();
+        let stats = run_executor(
+            &stm,
+            NoDelay::requestor_aborts(),
+            Xoshiro256StarStar::new(1),
+            &queue,
+            &drain_config(0),
+        );
+        assert_eq!(stats.commits, 10, "one commit per admitted request");
+        assert_eq!(stats.queue_wait_hist.count(), 10);
+        assert_eq!(stats.service_hist.count(), 10);
+        assert_eq!(stats.latency_hist.count(), 10);
+        assert_eq!(
+            stats.interval_commits.iter().sum::<u64>(),
+            10,
+            "every commit lands in a throughput interval"
+        );
+        // Sojourn is never smaller than either of its components.
+        assert!(stats.latency_percentile(100.0) >= stats.queue_wait_percentile(100.0));
+        assert!(stats.latency_percentile(100.0) >= stats.service_percentile(100.0));
+        // Every response was delivered to its cell, with the right tag.
+        for (k, cell) in cells.iter().enumerate() {
+            assert_eq!(cell.take(), Response::Added(1), "key {k}");
+            assert_eq!(cell.faults(), (0, 0));
+        }
+        assert_eq!(stm.read_direct(3), 1);
+    }
+
+    #[test]
+    fn executor_applies_every_request_kind() {
+        let stm = Stm::new(16, 1);
+        let mut ctx = TxCtx::new(
+            &stm,
+            0,
+            NoDelay::requestor_aborts(),
+            Box::new(Xoshiro256StarStar::new(7)),
+        );
+        assert_eq!(
+            execute(&mut ctx, &Request::Put(2, 40), 0),
+            Response::Written
+        );
+        assert_eq!(
+            execute(&mut ctx, &Request::Add(2, 2), 0),
+            Response::Added(42)
+        );
+        assert_eq!(execute(&mut ctx, &Request::Get(2), 0), Response::Value(42));
+        let rmw = Request::Rmw {
+            keys: vec![2, 3],
+            delta: 1,
+        };
+        // 42+1 = 43 and 0+1 = 1 → sum 44.
+        assert_eq!(execute(&mut ctx, &rmw, 0), Response::RmwSum(44));
+        assert_eq!(stm.read_direct(2), 43);
+        assert_eq!(stm.read_direct(3), 1);
+    }
+}

@@ -3,21 +3,47 @@
 //! The paper's wait-vs-abort policies are exercised elsewhere in this
 //! workspace by offline harnesses (the synthetic testbed, the HTM
 //! simulator, the ski-rental bridge). This crate is the *serving path*:
-//! a thread-per-shard transactional key-value service under closed-loop
-//! request pressure, so every policy can be measured on throughput **and
-//! tail latency** of a service-style workload rather than in simulation.
+//! a thread-per-shard transactional key-value service under closed- or
+//! open-loop request pressure, so every policy can be measured on
+//! throughput **and tail latency** of a service-style workload rather
+//! than in simulation.
+//!
+//! ## Request path
+//!
+//! ```text
+//! client ─▶ router ─▶ shard ring (lock-free MPSC) ─▶ batch executor ─▶ STM
+//!   │         │                                          │
+//!   │         └ stamps enqueue timestamp, sheds on full  ├ queue-wait = service start − enqueue
+//!   └ closed loop (1 outstanding) or                     ├ service    = response − service start
+//!     open loop (seeded Poisson schedule, window)        └ sojourn    = their sum
+//! ```
+//!
+//! * [`router::Router`] applies the one canonical key→shard rule
+//!   (`key % shards`) and admission control;
+//! * [`queue::ShardQueue`] is a hand-rolled bounded lock-free MPSC ring
+//!   (Vyukov-style sequence slots, CAS ticket tail, `park`/`unpark` for
+//!   the idle worker) that sheds on full;
+//! * [`executor`] drains each ring in batches through one long-lived
+//!   [`TxCtx`](tcp_stm::runtime::TxCtx) (recycled read/write sets) and
+//!   decomposes every request's latency into queue-wait + service;
+//! * [`client`] offers load either closed-loop (self-clocking, for peak
+//!   throughput) or open-loop (deterministic seeded arrival schedule with
+//!   a bounded outstanding window — the model under which queueing delay,
+//!   and therefore the grace-period trade-off at the tail, materializes);
+//! * responses return through generation-tagged [`queue::ReplyCell`]s that
+//!   *report* duplicate or stale deliveries instead of asserting.
 //!
 //! ## Component ↔ paper map
 //!
 //! | Component | Module | Paper |
 //! |-----------|--------|-------|
-//! | Wait/abort decision on every conflict | workers' [`ConflictArbiter`](tcp_core::engine::ConflictArbiter) via [`server::run_server`] | §4–§6 (the transactional conflict problem) |
-//! | Randomized grace policies under service load | any [`GracePolicy`](tcp_core::policy::GracePolicy) plugged into the workers | §5 (Thm 5/6) |
+//! | Wait/abort decision on every conflict | executors' [`ConflictArbiter`](tcp_core::engine::ConflictArbiter) via [`server::run_server`] | §4–§6 (the transactional conflict problem) |
+//! | Randomized grace policies under service load | any [`GracePolicy`](tcp_core::policy::GracePolicy) plugged into the executors | §5 (Thm 5/6) |
 //! | Deterministic grace policy under service load | e.g. `DetRw` | §6 (Thm 4) |
 //! | Abort-cost backoff inflation across request retries | `ConflictArbiter`'s [`BackoffState`](tcp_core::progress::BackoffState) | §7 |
 //! | Multi-key transactions provoking conflict chains | [`protocol::Request::Rmw`] spanning shards | §3 (conflict chains) |
-//! | Closed-loop load, think time, key skew | [`client`] (cf. "practically wait-free" scheduler-driven load) | §8 (evaluation methodology) |
-//! | Tail-latency accounting | [`tcp_core::hist::LatencyHistogram`] p50/p90/p99/p999 | §8 figures' y-axes |
+//! | Closed/open-loop load, think time, key skew | [`client`] (cf. "practically wait-free" scheduler-driven load) | §8 (evaluation methodology) |
+//! | Sojourn = queue-wait + service decomposition | [`executor`] + [`tcp_core::hist::LatencyHistogram`] ×3 | §8 figures' y-axes |
 //! | Admission control / backpressure | [`queue::ShardQueue`] shed-on-full, `EngineStats::sheds` | extension |
 //!
 //! ## Shape
@@ -29,7 +55,8 @@
 //! the conflicts the grace policies arbitrate. All writes in the generated
 //! workload are commutative increments, so the final heap is a pure
 //! function of the admitted request set: same seed ⇒ same checksum, even
-//! under real-thread nondeterminism (asserted in `tests/determinism.rs`).
+//! under real-thread nondeterminism (asserted in `tests/determinism.rs`
+//! for both load modes).
 //!
 //! ```
 //! use tcp_server::prelude::*;
@@ -46,20 +73,27 @@
 //! let report = run_server(&cfg, RandRw);
 //! let m = report.stats.merged();
 //! assert_eq!(m.commits + m.sheds, cfg.total_requests());
-//! let p99 = m.latency_percentile(99.0); // streaming histogram, no sort
-//! assert!(p99 >= m.latency_percentile(50.0));
+//! let p99 = m.latency_percentile(99.0); // sojourn, streaming histogram
+//! assert!(p99 >= m.queue_wait_percentile(50.0));
+//! assert_eq!(report.reply_faults, 0);
 //! ```
 
 pub mod client;
 pub mod config;
+pub mod executor;
 pub mod protocol;
 pub mod queue;
+pub mod router;
 pub mod server;
 
 pub mod prelude {
-    pub use crate::client::{run_client, ClientOutcome, KeyPicker, RequestGen};
-    pub use crate::config::ServeConfig;
+    pub use crate::client::{
+        draw_schedule, run_client, run_client_open, Arrival, ClientOutcome, KeyPicker, RequestGen,
+    };
+    pub use crate::config::{LoadMode, ServeConfig};
+    pub use crate::executor::{execute, run_executor, ExecutorConfig};
     pub use crate::protocol::{Key, Request, Response};
-    pub use crate::queue::{Envelope, ReplyCell, ShardQueue};
+    pub use crate::queue::{Envelope, PutStatus, ReplyCell, ShardQueue};
+    pub use crate::router::Router;
     pub use crate::server::{run_server, ServeReport};
 }

@@ -1,0 +1,118 @@
+//! Key→shard routing and admission control — the front half of the
+//! request path (client → **router** → shard ring → batch executor → STM).
+//!
+//! The [`Router`] owns the per-shard bounded lock-free rings and applies
+//! the one canonical key→shard rule of the service
+//! ([`Request::home_shard`]: `key % shards`). Submission stamps the
+//! enqueue timestamp (so downstream latency decomposes into queue-wait +
+//! service) and **sheds on full**: a rejected request is handed back to
+//! the caller, counted, and never reaches the STM.
+
+use std::sync::Arc;
+
+use crate::protocol::Request;
+use crate::queue::{Envelope, ReplyCell, ShardQueue};
+
+/// The routing/admission front end shared by every client.
+pub struct Router {
+    queues: Vec<Arc<ShardQueue>>,
+}
+
+impl Router {
+    /// A router over `shards` rings of `queue_capacity` envelopes each.
+    pub fn new(shards: usize, queue_capacity: usize) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        Self {
+            queues: (0..shards)
+                .map(|_| Arc::new(ShardQueue::new(queue_capacity)))
+                .collect(),
+        }
+    }
+
+    pub fn shards(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// The ring feeding shard `shard` (executors hold a clone).
+    pub fn queue(&self, shard: usize) -> Arc<ShardQueue> {
+        Arc::clone(&self.queues[shard])
+    }
+
+    /// Route `req` to its home shard and try to admit it, stamping the
+    /// enqueue timestamp. Returns the post-push queue depth on admission;
+    /// hands the request back on shed so the caller keeps ownership.
+    pub fn submit(&self, req: Request, reply: &Arc<ReplyCell>, gen: u64) -> Result<usize, Request> {
+        let shard = req.home_shard(self.queues.len());
+        let env = Envelope::new(req, Arc::clone(reply), gen);
+        self.queues[shard].try_push(env).map_err(|env| env.req)
+    }
+
+    /// Stop admitting everywhere; executors drain their backlogs and exit.
+    pub fn close(&self) {
+        for q in &self.queues {
+            q.close();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_by_home_shard() {
+        let router = Router::new(4, 8);
+        let reply = Arc::new(ReplyCell::new());
+        // Keys 0..8 land on shard key % 4.
+        for k in 0..8u64 {
+            assert!(router.submit(Request::Get(k), &reply, k).is_ok());
+        }
+        for shard in 0..4 {
+            let q = router.queue(shard);
+            let mut popped = Vec::new();
+            q.close();
+            while let Some(env) = q.pop() {
+                popped.push(env);
+            }
+            assert_eq!(popped.len(), 2, "two of keys 0..8 per shard");
+            for env in popped {
+                assert_eq!(env.req.home_shard(4), shard, "request on wrong ring");
+            }
+        }
+    }
+
+    #[test]
+    fn shed_returns_the_request_to_the_caller() {
+        let router = Router::new(1, 2);
+        let reply = Arc::new(ReplyCell::new());
+        assert!(router.submit(Request::Get(0), &reply, 1).is_ok());
+        assert!(router.submit(Request::Get(1), &reply, 2).is_ok());
+        match router.submit(Request::Add(2, 5), &reply, 3) {
+            Err(req) => assert_eq!(req, Request::Add(2, 5)),
+            Ok(_) => panic!("full ring must shed"),
+        }
+    }
+
+    #[test]
+    fn close_rejects_new_submissions() {
+        let router = Router::new(2, 4);
+        let reply = Arc::new(ReplyCell::new());
+        router.close();
+        assert!(router.submit(Request::Get(0), &reply, 1).is_err());
+        assert!(router.submit(Request::Get(1), &reply, 2).is_err());
+    }
+
+    #[test]
+    fn rmw_routes_to_first_keys_shard() {
+        let router = Router::new(4, 4);
+        let reply = Arc::new(ReplyCell::new());
+        let req = Request::Rmw {
+            keys: vec![7, 0, 2],
+            delta: 1,
+        };
+        router.submit(req, &reply, 1).unwrap();
+        let q = router.queue(3); // 7 % 4
+        q.close();
+        assert!(q.pop().is_some(), "rmw must land on its first key's shard");
+    }
+}

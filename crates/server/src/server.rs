@@ -1,33 +1,32 @@
-//! The sharded, thread-per-shard transactional KV server.
+//! Run orchestration for the sharded, thread-per-shard transactional KV
+//! server.
 //!
-//! One shared TL2 heap (`tcp_stm::Stm`), one worker thread per shard.
-//! Each worker drains its bounded [`ShardQueue`] and executes every
-//! request as an STM transaction through its own
-//! [`TxCtx`](tcp_stm::runtime::TxCtx) — so every conflict a cross-shard
-//! RMW provokes consults the shared
-//! [`ConflictArbiter`](tcp_core::engine::ConflictArbiter) for its
-//! wait/abort decision, exactly like the offline substrates.
+//! One shared TL2 heap (`tcp_stm::Stm`), one batch executor thread per
+//! shard (see [`crate::executor`]), a [`Router`](crate::router::Router)
+//! for admission, and a fleet of closed- or open-loop clients (see
+//! [`crate::client`]). This module wires them together for one complete
+//! run and snapshots the result.
 
-use std::sync::Arc;
 use std::time::Instant;
 
 use tcp_core::conflict::Conflict;
 use tcp_core::engine::{SeedFanout, ShardedStats};
 use tcp_core::policy::GracePolicy;
-use tcp_stm::runtime::{Stm, TxCtx};
+use tcp_stm::runtime::Stm;
 
-use crate::client::{run_client, spin_ns, RequestGen};
-use crate::config::ServeConfig;
-use crate::protocol::{Request, Response};
-use crate::queue::ShardQueue;
+use crate::client::{run_client, run_client_open, RequestGen};
+use crate::config::{LoadMode, ServeConfig};
+use crate::executor::{run_executor, ExecutorConfig};
+use crate::router::Router;
 
 /// Everything a serving run reports.
 #[derive(Clone, Debug)]
 pub struct ServeReport {
     /// `per_thread[i]` = shard `i`'s transaction tally (commits, aborts by
-    /// cause, wait time); `global` = the merged client-side view (sheds,
-    /// queue depth, the streaming latency histogram) plus the wall-clock
-    /// horizon in `cycles` (nanoseconds, STM convention).
+    /// cause, wait time, the queue-wait/service/sojourn histograms, and
+    /// per-interval throughput samples); `global` = the merged client-side
+    /// view (sheds, queue depth) plus the wall-clock horizon in `cycles`
+    /// (nanoseconds, STM convention).
     pub stats: ShardedStats,
     /// Wall-clock duration of the run, nanoseconds.
     pub wall_ns: u64,
@@ -41,6 +40,10 @@ pub struct ServeReport {
     pub state_checksum: u64,
     /// Σ increments of all admitted (non-shed) requests.
     pub increments_applied: u64,
+    /// Reply-cell misdeliveries (duplicate + stale-generation `put`s)
+    /// across every client. Non-zero means the response path violated the
+    /// one-delivery-per-request protocol.
+    pub reply_faults: u64,
     /// Display name of the grace policy that served the run.
     pub policy: String,
 }
@@ -56,9 +59,9 @@ impl ServeReport {
     }
 }
 
-/// Run the full closed-loop service experiment described by `cfg` under
-/// `policy`, to completion: spawn shard workers and clients, drain, join,
-/// and snapshot the heap.
+/// Run the full service experiment described by `cfg` under `policy`, to
+/// completion: spawn shard executors and clients (closed- or open-loop per
+/// `cfg.mode`), drain, join, and snapshot the heap.
 ///
 /// The resolution mode (requestor aborts vs requestor wins) follows the
 /// policy's own preference, as in the HTM simulator.
@@ -69,12 +72,10 @@ where
     cfg.validate();
     let mode = policy.mode(&Conflict::pair(1000.0));
     let stm = Stm::with_mode(cfg.keys as usize, cfg.shards, mode);
-    let queues: Vec<Arc<ShardQueue>> = (0..cfg.shards)
-        .map(|_| Arc::new(ShardQueue::new(cfg.queue_capacity)))
-        .collect();
+    let router = Router::new(cfg.shards, cfg.queue_capacity);
     let gen = RequestGen::from_config(cfg);
 
-    // Fixed fan-out order — shard workers first, clients second — keeps a
+    // Fixed fan-out order — shard executors first, clients second — keeps a
     // run bit-reproducible from the one master seed.
     let mut fan = SeedFanout::new(cfg.seed);
     let worker_rngs: Vec<_> = (0..cfg.shards).map(|_| fan.stream()).collect();
@@ -82,47 +83,57 @@ where
 
     let mut stats = ShardedStats::new(cfg.shards);
     let mut increments_applied = 0u64;
+    let mut reply_faults = 0u64;
     let start = Instant::now();
     std::thread::scope(|s| {
         let stm_ref = &stm;
-        let work_ns = cfg.work_ns;
         let workers: Vec<_> = worker_rngs
             .into_iter()
             .enumerate()
             .map(|(shard, rng)| {
-                let queue = Arc::clone(&queues[shard]);
+                let queue = router.queue(shard);
                 let policy = policy.clone();
-                s.spawn(move || {
-                    let mut ctx = TxCtx::new(stm_ref, shard, policy, Box::new(rng));
-                    while let Some(env) = queue.pop() {
-                        let resp = execute(&mut ctx, &env.req, work_ns);
-                        env.reply.put(resp);
-                    }
-                    ctx.stats
-                })
+                let exec_cfg = ExecutorConfig {
+                    shard,
+                    batch_max: cfg.batch_max,
+                    work_ns: cfg.work_ns,
+                    stats_interval_ns: cfg.stats_interval_ns,
+                    run_start: start,
+                };
+                s.spawn(move || run_executor(stm_ref, policy, rng, &queue, &exec_cfg))
             })
             .collect();
 
-        let (gen_ref, queues_ref) = (&gen, &queues[..]);
-        let (ops, think_ns) = (cfg.ops_per_client, cfg.think_ns);
+        let (gen_ref, router_ref) = (&gen, &router);
+        let ops = cfg.ops_per_client;
         let clients: Vec<_> = client_rngs
             .into_iter()
-            .map(|rng| s.spawn(move || run_client(gen_ref, queues_ref, ops, think_ns, rng)))
+            .map(|rng| match cfg.mode {
+                LoadMode::Closed => {
+                    let think_ns = cfg.think_ns;
+                    s.spawn(move || run_client(gen_ref, router_ref, ops, think_ns, rng))
+                }
+                LoadMode::Open {
+                    rate_per_client,
+                    window,
+                } => s.spawn(move || {
+                    run_client_open(gen_ref, router_ref, ops, rate_per_client, window, rng)
+                }),
+            })
             .collect();
 
-        // Closed loop: every client returns only after all its admitted
-        // requests were answered, so closing afterwards leaves no request
-        // behind.
+        // Both loops bound their outstanding requests, so every client
+        // returns only after all its admitted requests were answered;
+        // closing afterwards leaves no request behind.
         for c in clients {
             let outcome = c.join().expect("client panicked");
             stats.global.merge(&outcome.stats);
             increments_applied += outcome.increments_applied;
+            reply_faults += outcome.reply_faults;
         }
-        for q in &queues {
-            q.close();
-        }
+        router.close();
         for (shard, w) in workers.into_iter().enumerate() {
-            stats.per_thread[shard] = w.join().expect("shard worker panicked");
+            stats.per_thread[shard] = w.join().expect("shard executor panicked");
         }
     });
     let wall_ns = start.elapsed().as_nanos() as u64;
@@ -136,56 +147,8 @@ where
         state_sum,
         state_checksum: checksum(&snapshot),
         increments_applied,
+        reply_faults,
         policy: policy.name(),
-    }
-}
-
-/// Execute one request as an STM transaction on this shard's context. The
-/// transaction body re-runs from scratch on every abort (`TxCtx::run`
-/// retries until commit), so all per-attempt state lives inside the
-/// closure. `work_ns` is the in-transaction compute (spun via
-/// [`spin_ns`]) between the reads and the writes — the paper's
-/// transaction length, re-spun on every attempt.
-fn execute<P: GracePolicy>(ctx: &mut TxCtx<'_, P>, req: &Request, work_ns: u64) -> Response {
-    match req {
-        Request::Get(k) => {
-            let a = *k as usize;
-            Response::Value(ctx.run(|tx| {
-                let v = tx.read(a)?;
-                spin_ns(work_ns);
-                Ok(v)
-            }))
-        }
-        Request::Put(k, v) => {
-            let (a, v) = (*k as usize, *v);
-            ctx.run(|tx| {
-                spin_ns(work_ns);
-                tx.write(a, v)
-            });
-            Response::Written
-        }
-        Request::Add(k, delta) => {
-            let (a, delta) = (*k as usize, *delta);
-            Response::Added(ctx.run(|tx| {
-                let v = tx.read(a)?.wrapping_add(delta);
-                spin_ns(work_ns);
-                tx.write(a, v)?;
-                Ok(v)
-            }))
-        }
-        Request::Rmw { keys, delta } => {
-            let delta = *delta;
-            Response::RmwSum(ctx.run(|tx| {
-                let mut sum = 0u64;
-                for &k in keys {
-                    let v = tx.read(k as usize)?.wrapping_add(delta);
-                    tx.write(k as usize, v)?;
-                    sum = sum.wrapping_add(v);
-                }
-                spin_ns(work_ns);
-                Ok(sum)
-            }))
-        }
     }
 }
 
@@ -218,6 +181,7 @@ mod tests {
             work_ns: 0,
             queue_capacity: 16,
             seed,
+            ..Default::default()
         }
     }
 
@@ -233,8 +197,19 @@ mod tests {
         );
         assert!(
             m.latency_hist.count() == m.commits,
-            "one latency per commit"
+            "one sojourn sample per commit"
         );
+        assert_eq!(
+            m.queue_wait_hist.count(),
+            m.commits,
+            "one queue-wait sample per commit"
+        );
+        assert_eq!(
+            m.service_hist.count(),
+            m.commits,
+            "one service sample per commit"
+        );
+        assert_eq!(r.reply_faults, 0, "no misdelivered replies");
     }
 
     #[test]
@@ -320,6 +295,7 @@ mod tests {
             work_ns: 50_000,
             queue_capacity: 2,
             seed: 9,
+            ..Default::default()
         };
         let r = run_server(&cfg, NoDelay::requestor_aborts());
         let m = r.stats.merged();
@@ -334,6 +310,74 @@ mod tests {
             "shed requests must never reach the heap"
         );
         assert!(m.queue_depth_max <= 2, "depth can never exceed capacity");
+    }
+
+    #[test]
+    fn open_loop_offers_load_and_accounts_every_request() {
+        // Open loop on an ample queue/window: every request is admitted,
+        // executed exactly once, and measured (queue wait + service +
+        // sojourn all have one sample per commit).
+        let cfg = ServeConfig {
+            shards: 2,
+            clients: 3,
+            ops_per_client: 500,
+            keys: 128,
+            zipf_s: 0.9,
+            rmw_fraction: 0.2,
+            rmw_span: 2,
+            work_ns: 0,
+            queue_capacity: 1024,
+            mode: LoadMode::Open {
+                rate_per_client: 200_000.0,
+                window: 32,
+            },
+            ..Default::default()
+        };
+        let r = run_server(&cfg, RandRw);
+        let m = r.stats.merged();
+        assert_eq!(m.commits + m.sheds, cfg.total_requests());
+        assert_eq!(m.sheds, 0, "ample capacity must not shed");
+        assert_eq!(m.latency_hist.count(), m.commits);
+        assert_eq!(m.queue_wait_hist.count(), m.commits);
+        assert_eq!(m.service_hist.count(), m.commits);
+        assert_eq!(r.state_sum, r.increments_applied);
+        assert_eq!(r.reply_faults, 0);
+        assert!(
+            m.interval_commits.iter().sum::<u64>() == m.commits,
+            "every commit lands in a throughput interval"
+        );
+    }
+
+    #[test]
+    fn open_loop_overload_sheds_at_the_queue() {
+        // One slow shard (20µs service) offered ~200k req/s against a
+        // 4-deep queue: the schedule outruns service, the ring fills, and
+        // admission control sheds — while conservation still holds.
+        let cfg = ServeConfig {
+            shards: 1,
+            clients: 2,
+            ops_per_client: 300,
+            keys: 64,
+            zipf_s: 0.0,
+            read_fraction: 0.0,
+            rmw_fraction: 0.0,
+            rmw_span: 1,
+            work_ns: 20_000,
+            queue_capacity: 4,
+            mode: LoadMode::Open {
+                rate_per_client: 100_000.0,
+                window: 4,
+            },
+            seed: 13,
+            ..Default::default()
+        };
+        let r = run_server(&cfg, NoDelay::requestor_aborts());
+        let m = r.stats.merged();
+        assert!(m.sheds > 0, "overload must shed at the bounded ring");
+        assert_eq!(m.commits + m.sheds, cfg.total_requests());
+        assert_eq!(r.state_sum, r.increments_applied);
+        assert!(m.queue_depth_max <= 4, "depth can never exceed capacity");
+        assert_eq!(r.reply_faults, 0);
     }
 
     #[test]

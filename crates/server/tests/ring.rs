@@ -1,0 +1,208 @@
+//! Concurrency property tests for the lock-free bounded MPSC ring.
+//!
+//! The properties the serving path leans on, each driven with real
+//! producer threads against the single consumer the queue is specified
+//! for:
+//!
+//! 1. **capacity respected** — no `try_push` ever reports a depth above
+//!    capacity;
+//! 2. **no lost or duplicated envelopes** — popped ∪ shed = issued,
+//!    exactly once each;
+//! 3. **per-producer FIFO** — the consumer sees each producer's envelopes
+//!    in that producer's push order;
+//! 4. **close/drain** — after `close`, no new envelope is admitted, the
+//!    already-admitted backlog is fully drained, and the consumer then
+//!    gets the exit signal.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use tcp_server::prelude::{Envelope, ReplyCell, Request, ShardQueue};
+
+/// Tag an envelope with (producer, sequence) through the Put request.
+fn tagged(producer: u64, seq: u64) -> Envelope {
+    Envelope::new(Request::Put(producer, seq), Arc::new(ReplyCell::new()), seq)
+}
+
+fn tag_of(env: &Envelope) -> (u64, u64) {
+    match env.req {
+        Request::Put(p, s) => (p, s),
+        ref other => panic!("untagged request {other:?}"),
+    }
+}
+
+/// Drive `producers × per_producer` pushes against one batch-popping
+/// consumer; return (popped tags in pop order, per-producer shed tags).
+fn hammer(
+    q: &Arc<ShardQueue>,
+    producers: u64,
+    per_producer: u64,
+    capacity: usize,
+    batch: usize,
+) -> (Vec<(u64, u64)>, Vec<HashSet<u64>>) {
+    let max_depth = AtomicU64::new(0);
+    let mut popped = Vec::new();
+    let mut shed: Vec<HashSet<u64>> = Vec::new();
+    std::thread::scope(|s| {
+        let producer_handles: Vec<_> = (0..producers)
+            .map(|p| {
+                let q = Arc::clone(q);
+                let max_depth = &max_depth;
+                s.spawn(move || {
+                    let mut shed = HashSet::new();
+                    for i in 0..per_producer {
+                        match q.try_push(tagged(p, i)) {
+                            Ok(depth) => {
+                                max_depth.fetch_max(depth as u64, Ordering::SeqCst);
+                            }
+                            Err(env) => {
+                                // A shed hands the request back intact.
+                                assert_eq!(tag_of(&env), (p, i));
+                                shed.insert(i);
+                            }
+                        }
+                        if i % 64 == 0 {
+                            std::thread::yield_now(); // vary interleavings
+                        }
+                    }
+                    shed
+                })
+            })
+            .collect();
+        let q2 = Arc::clone(q);
+        let consumer = s.spawn(move || {
+            let mut got = Vec::new();
+            let mut buf = Vec::new();
+            loop {
+                let n = q2.pop_batch(batch, &mut buf);
+                assert!(n <= batch, "pop_batch overran max");
+                if n == 0 {
+                    break;
+                }
+                got.extend(buf.drain(..).map(|e| tag_of(&e)));
+            }
+            got
+        });
+        shed = producer_handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect();
+        // All producers done: closing now lets the consumer drain and exit.
+        q.close();
+        popped = consumer.join().unwrap();
+    });
+    assert!(
+        max_depth.load(Ordering::SeqCst) <= capacity as u64,
+        "reported depth above capacity"
+    );
+    (popped, shed)
+}
+
+#[test]
+fn mpsc_no_loss_no_duplication_per_producer_fifo() {
+    const PRODUCERS: u64 = 4;
+    const PER_PRODUCER: u64 = 5_000;
+    const CAPACITY: usize = 8;
+    let q = Arc::new(ShardQueue::new(CAPACITY));
+    let (popped, shed) = hammer(&q, PRODUCERS, PER_PRODUCER, CAPACITY, 3);
+
+    let total_sheds: u64 = shed.iter().map(|s| s.len() as u64).sum();
+    assert_eq!(
+        popped.len() as u64 + total_sheds,
+        PRODUCERS * PER_PRODUCER,
+        "popped + shed must account for every push"
+    );
+    // Exactly-once: the popped multiset and the shed sets partition the
+    // issued set — no duplicates, no overlap, nothing missing.
+    let mut seen: HashSet<(u64, u64)> = HashSet::new();
+    for &(p, s) in &popped {
+        assert!(seen.insert((p, s)), "duplicate envelope ({p}, {s})");
+        assert!(
+            !shed[p as usize].contains(&s),
+            "({p}, {s}) both popped and shed"
+        );
+    }
+    // Per-producer FIFO in the consumer's pop order.
+    let mut last_seen: HashMap<u64, u64> = HashMap::new();
+    for &(p, s) in &popped {
+        if let Some(&prev) = last_seen.get(&p) {
+            assert!(s > prev, "producer {p}: seq {s} after {prev} breaks FIFO");
+        }
+        last_seen.insert(p, s);
+    }
+}
+
+#[test]
+fn uncontended_queue_never_sheds() {
+    // A queue with capacity ≥ total pushes and a live consumer must admit
+    // everything (shedding is a capacity decision, never spurious).
+    const PRODUCERS: u64 = 4;
+    const PER_PRODUCER: u64 = 1_000;
+    let q = Arc::new(ShardQueue::new((PRODUCERS * PER_PRODUCER) as usize));
+    let (popped, shed) = hammer(
+        &q,
+        PRODUCERS,
+        PER_PRODUCER,
+        (PRODUCERS * PER_PRODUCER) as usize,
+        16,
+    );
+    assert_eq!(shed.iter().map(HashSet::len).sum::<usize>(), 0);
+    assert_eq!(popped.len() as u64, PRODUCERS * PER_PRODUCER);
+}
+
+#[test]
+fn close_is_a_hard_admission_barrier_and_backlog_drains() {
+    let q = Arc::new(ShardQueue::new(64));
+    for i in 0..10 {
+        assert!(q.try_push(tagged(0, i)).is_ok());
+    }
+    q.close();
+    // Post-close pushes are rejected from any thread.
+    std::thread::scope(|s| {
+        for p in 1..4u64 {
+            let q = Arc::clone(&q);
+            s.spawn(move || {
+                for i in 0..100 {
+                    assert!(q.try_push(tagged(p, i)).is_err(), "closed queue admitted");
+                }
+            });
+        }
+    });
+    // The pre-close backlog drains completely, in order, then exits.
+    let mut buf = Vec::new();
+    while q.pop_batch(4, &mut buf) > 0 {}
+    let tags: Vec<_> = buf.iter().map(tag_of).collect();
+    assert_eq!(tags, (0..10).map(|i| (0, i)).collect::<Vec<_>>());
+    assert!(q.pop().is_none(), "exit signal must persist");
+}
+
+#[test]
+fn consumer_parks_and_wakes_across_bursts() {
+    // Bursty producers with idle gaps force the consumer through repeated
+    // park/unpark cycles; every envelope must still arrive exactly once.
+    let q = Arc::new(ShardQueue::new(16));
+    std::thread::scope(|s| {
+        let q2 = Arc::clone(&q);
+        let consumer = s.spawn(move || {
+            let mut got = Vec::new();
+            let mut buf = Vec::new();
+            while q2.pop_batch(8, &mut buf) > 0 {
+                got.extend(buf.drain(..).map(|e| tag_of(&e)));
+            }
+            got
+        });
+        for burst in 0..20u64 {
+            for i in 0..8 {
+                while q.try_push(tagged(0, burst * 8 + i)).is_err() {
+                    std::thread::yield_now();
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        q.close();
+        let got = consumer.join().unwrap();
+        assert_eq!(got.len(), 160);
+        assert!(got.windows(2).all(|w| w[0].1 < w[1].1), "FIFO across parks");
+    });
+}

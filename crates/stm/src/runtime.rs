@@ -171,6 +171,12 @@ pub struct TxCtx<'s, P: GracePolicy> {
     /// Fixed component of the abort cost, in nanoseconds (models the
     /// restart overhead; the elapsed running time is added per conflict).
     pub cleanup_ns: f64,
+    /// Recycled read-set allocation, handed to each transaction attempt and
+    /// reclaimed afterwards so batch executors serving many short
+    /// transactions per context never reallocate the hot-path sets.
+    read_buf: Vec<(Addr, u64)>,
+    /// Recycled write-set allocation (same lifecycle as `read_buf`).
+    write_buf: Vec<(Addr, u64)>,
 }
 
 /// The view a transaction body gets: transactional reads and writes.
@@ -192,6 +198,8 @@ impl<'s, P: GracePolicy> TxCtx<'s, P> {
             rng,
             stats: EngineStats::default(),
             cleanup_ns: 500.0,
+            read_buf: Vec::with_capacity(8),
+            write_buf: Vec::with_capacity(8),
         }
     }
 
@@ -201,14 +209,24 @@ impl<'s, P: GracePolicy> TxCtx<'s, P> {
         loop {
             self.stm.kill_flags[self.id].store(false, Ordering::SeqCst);
             let rv = self.stm.clock.load(Ordering::SeqCst);
+            let mut reads = std::mem::take(&mut self.read_buf);
+            let mut writes = std::mem::take(&mut self.write_buf);
+            reads.clear();
+            writes.clear();
             let mut tx = Tx {
                 ctx: self,
                 rv,
                 start: Instant::now(),
-                reads: Vec::with_capacity(8),
-                writes: Vec::with_capacity(8),
+                reads,
+                writes,
             };
-            match body(&mut tx).and_then(|v| tx.commit().map(|_| v)) {
+            let outcome = body(&mut tx).and_then(|v| tx.commit().map(|_| v));
+            // Reclaim the set allocations for the next transaction (the
+            // whole point of keeping them on the context).
+            let Tx { reads, writes, .. } = tx;
+            self.read_buf = reads;
+            self.write_buf = writes;
+            match outcome {
                 Ok(v) => {
                     self.stats.commits += 1;
                     self.arbiter.on_commit();
@@ -327,7 +345,7 @@ impl<'s, P: GracePolicy> Tx<'_, 's, P> {
     }
 
     /// Lock acquisition, read validation, publication (TL2 commit).
-    fn commit(mut self) -> Result<(), Abort> {
+    fn commit(&mut self) -> Result<(), Abort> {
         let stm = self.ctx.stm;
         if self.writes.is_empty() {
             // Read-only transactions commit without locking.
@@ -582,6 +600,36 @@ mod tests {
                 });
             }
         });
+    }
+
+    #[test]
+    fn tx_sets_reuse_context_allocations() {
+        // Once the read/write buffers have grown to the workload's footprint
+        // they must be recycled verbatim across transactions — no per-txn
+        // allocation on the batch-executor hot path.
+        let stm = Stm::new(64, 1);
+        let mut t = ctx(&stm, 0, NoDelay::requestor_aborts());
+        t.run(|tx| {
+            for a in 0..32 {
+                tx.write(a, a as u64)?;
+                tx.read(a + 32)?; // disjoint: read-your-writes skips the read set
+            }
+            Ok(())
+        });
+        let (rp, wp) = (t.read_buf.as_ptr(), t.write_buf.as_ptr());
+        assert!(t.read_buf.capacity() >= 32 && t.write_buf.capacity() >= 32);
+        for _ in 0..100 {
+            t.run(|tx| {
+                for a in 0..32 {
+                    tx.write(a, 1)?;
+                    tx.read(a + 32)?;
+                }
+                Ok(())
+            });
+        }
+        assert_eq!(t.read_buf.as_ptr(), rp, "read set must not reallocate");
+        assert_eq!(t.write_buf.as_ptr(), wp, "write set must not reallocate");
+        assert_eq!(t.stats.commits, 101);
     }
 
     #[test]
