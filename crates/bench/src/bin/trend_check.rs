@@ -1,0 +1,150 @@
+//! Bench trend checker: compare a freshly produced `BENCH_serve.json`
+//! against the previously committed one and warn when the quick-config
+//! ops/s regressed by more than a threshold.
+//!
+//! This is deliberately tiny — no serde in the vendored dependency set,
+//! and the reports are machine-written compact JSON (`tcp_bench::report`),
+//! so a key-scanning extractor is exact for the files it reads. The
+//! checker *warns* by default (a 1-core CI runner's throughput is noisy);
+//! `--strict` turns a regression into a non-zero exit for hosts with
+//! stable baselines.
+//!
+//! ```text
+//! trend_check --prev <old.json> --cur <new.json> [--threshold 15] [--strict]
+//! ```
+//!
+//! Comparison rule: mean of the rows' `ops_per_sec` values, only when both
+//! reports were produced with the same `quick` flag (comparing a quick run
+//! against a full run would be meaningless, and is reported as a skip).
+
+use tcp_bench::cli::Flags;
+
+/// Extract every value of compact-JSON key `"key":<number>` from `json`.
+/// Exact for the writer in `tcp_bench::report` (no whitespace, keys
+/// quoted); keys that merely share a prefix (`ops_per_sec_steal_on`) do
+/// not match because the pattern includes the closing quote and colon.
+fn extract_numbers(json: &str, key: &str) -> Vec<f64> {
+    let pat = format!("\"{key}\":");
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(pos) = rest.find(&pat) {
+        rest = &rest[pos + pat.len()..];
+        let end = rest.find([',', '}', ']']).unwrap_or(rest.len());
+        if let Ok(v) = rest[..end].trim().parse::<f64>() {
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// Extract the first boolean value of compact-JSON key `"key":true|false`.
+fn extract_bool(json: &str, key: &str) -> Option<bool> {
+    let pat = format!("\"{key}\":");
+    let pos = json.find(&pat)?;
+    let rest = &json[pos + pat.len()..];
+    if rest.starts_with("true") {
+        Some(true)
+    } else if rest.starts_with("false") {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flags = Flags::parse(&args).unwrap_or_else(|e| {
+        eprintln!("trend_check: {e}");
+        std::process::exit(2);
+    });
+    let prev_path = flags.get("prev").unwrap_or("BENCH_serve.prev.json");
+    let cur_path = flags.get("cur").unwrap_or("BENCH_serve.json");
+    let threshold: f64 = flags.num("threshold", 15.0).unwrap();
+    let strict = flags.flag("strict");
+
+    let prev = match std::fs::read_to_string(prev_path) {
+        Ok(s) => s,
+        Err(e) => {
+            // No baseline (first run, shallow checkout): nothing to
+            // compare, and that is not an error.
+            println!("trend_check: no baseline at {prev_path} ({e}); skipping");
+            return;
+        }
+    };
+    let cur = std::fs::read_to_string(cur_path).unwrap_or_else(|e| {
+        eprintln!("trend_check: cannot read {cur_path}: {e}");
+        std::process::exit(2);
+    });
+
+    let (pq, cq) = (extract_bool(&prev, "quick"), extract_bool(&cur, "quick"));
+    if pq != cq {
+        println!("trend_check: config mismatch (prev quick={pq:?}, cur quick={cq:?}); skipping");
+        return;
+    }
+    let prev_ops = extract_numbers(&prev, "ops_per_sec");
+    let cur_ops = extract_numbers(&cur, "ops_per_sec");
+    if prev_ops.is_empty() || cur_ops.is_empty() {
+        println!(
+            "trend_check: missing ops_per_sec rows (prev {}, cur {}); skipping",
+            prev_ops.len(),
+            cur_ops.len()
+        );
+        return;
+    }
+    let (prev_mean, cur_mean) = (mean(&prev_ops), mean(&cur_ops));
+    let delta_pct = (cur_mean - prev_mean) / prev_mean * 100.0;
+    println!(
+        "trend_check: mean ops/s {prev_mean:.0} -> {cur_mean:.0} ({delta_pct:+.1}%) \
+         over {} prev / {} cur rows",
+        prev_ops.len(),
+        cur_ops.len()
+    );
+    if delta_pct < -threshold {
+        println!(
+            "::warning::serve throughput regressed {:.1}% (> {threshold}% threshold) \
+             vs committed BENCH_serve.json",
+            -delta_pct
+        );
+        if strict {
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{"bench":"serve","config":{"quick":true,"seed":42},"rows":[{"policy":"DET","ops_per_sec":1000.5,"ops_per_sec_steal_on":9.9},{"policy":"RRW","ops_per_sec":2000}]}"#;
+
+    #[test]
+    fn extracts_exact_key_occurrences_only() {
+        let v = extract_numbers(SAMPLE, "ops_per_sec");
+        assert_eq!(
+            v,
+            vec![1000.5, 2000.0],
+            "prefix-sharing keys must not match"
+        );
+        assert_eq!(extract_numbers(SAMPLE, "missing"), Vec::<f64>::new());
+        assert_eq!(extract_numbers(SAMPLE, "seed"), vec![42.0]);
+    }
+
+    #[test]
+    fn extracts_quick_flag() {
+        assert_eq!(extract_bool(SAMPLE, "quick"), Some(true));
+        assert_eq!(
+            extract_bool(r#"{"config":{"quick":false}}"#, "quick"),
+            Some(false)
+        );
+        assert_eq!(extract_bool(SAMPLE, "absent"), None);
+    }
+
+    #[test]
+    fn mean_of_rows() {
+        assert!((mean(&[1.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+}

@@ -91,8 +91,19 @@ pub struct EngineStats {
     /// saturating at [`CHAIN_HIST_LEN`]` - 1`).
     pub chain_hist: [u64; CHAIN_HIST_LEN],
     /// Requests rejected by admission control (a bounded queue was full
-    /// and the submitter shed instead of blocking).
+    /// and the submitter shed instead of blocking), all causes together —
+    /// [`slo_sheds`](Self::slo_sheds) counts the SLO-driven subset.
     pub sheds: u64,
+    /// Requests shed by SLO-aware adaptive admission (the windowed p99
+    /// queue wait exceeded the configured SLO); a subset of
+    /// [`sheds`](Self::sheds).
+    pub slo_sheds: u64,
+    /// Envelopes this shard's executor stole from sibling rings and
+    /// executed (work-stealing; 0 when stealing is disabled).
+    pub steals: u64,
+    /// Times this shard's executor found no work anywhere — own ring and
+    /// every sibling ring empty — and parked briefly before rescanning.
+    pub idle_parks: u64,
     /// Deepest queue observed behind this shard's submissions. Merging
     /// takes the max, like `cycles`.
     pub queue_depth_max: u64,
@@ -156,6 +167,9 @@ impl EngineStats {
             *a += b;
         }
         self.sheds += other.sheds;
+        self.slo_sheds += other.slo_sheds;
+        self.steals += other.steals;
+        self.idle_parks += other.idle_parks;
         self.queue_depth_max = self.queue_depth_max.max(other.queue_depth_max);
         self.cycles = self.cycles.max(other.cycles);
         self.latencies.extend_from_slice(&other.latencies);
@@ -424,6 +438,18 @@ impl ShardedStats {
         self.global.sheds + self.per_thread.iter().map(|c| c.sheds).sum::<u64>()
     }
 
+    /// Requests shed by SLO-aware adaptive admission, across shards and the
+    /// run-global tally (a subset of [`sheds`](Self::sheds)).
+    pub fn slo_sheds(&self) -> u64 {
+        self.global.slo_sheds + self.per_thread.iter().map(|c| c.slo_sheds).sum::<u64>()
+    }
+
+    /// Envelopes executed by a non-owner executor (work-stealing), summed
+    /// across shards.
+    pub fn steals(&self) -> u64 {
+        self.per_thread.iter().map(|c| c.steals).sum()
+    }
+
     pub fn throughput(&self) -> f64 {
         if self.global.cycles == 0 {
             0.0
@@ -472,6 +498,152 @@ impl ShardedStats {
             h.merge(&t.queue_wait_hist);
         }
         h.percentile(p)
+    }
+}
+
+/// A windowed, concurrency-safe p99 queue-wait estimator — the sensor of
+/// SLO-aware adaptive admission.
+///
+/// Executors [`record`](Self::record) the queue wait of every request they
+/// pop; admission control reads [`p99`](Self::p99) on every submission.
+/// Internally the estimator keeps one window's samples in an atomic
+/// log-bucketed count array (same bucket geometry as
+/// [`LatencyHistogram`], ≤ ~3.2% relative error) and, when the window
+/// elapses, folds them into a cached p99 estimate readable with a single
+/// atomic load — recording is O(1), reading is O(1), and neither side
+/// takes a lock.
+///
+/// Rotation is driven from **both** sides: recorders rotate when they
+/// notice the window has elapsed, and readers do too — so when shedding
+/// has starved the executors of samples entirely, the estimate still
+/// decays to 0 after one quiet window and admission reopens (no
+/// shed-forever lockup).
+///
+/// Concurrent rotation is resolved by a CAS on the window-start word;
+/// samples recorded while the winner sweeps the buckets land in whichever
+/// window their bucket is swept into. The estimator trades that boundary
+/// fuzz for lock-freedom — admission hysteresis smooths it out.
+pub struct QueueWaitEstimator {
+    /// Window width, nanoseconds.
+    window_ns: u64,
+    /// Epoch for the atomic clock words below.
+    created: std::time::Instant,
+    /// Nanoseconds (since `created`) at which the current window started.
+    window_start: std::sync::atomic::AtomicU64,
+    /// Current window's sample counts, [`crate::hist`] bucket geometry.
+    counts: Box<[std::sync::atomic::AtomicU64]>,
+    /// p99 of the last *completed* window (0 before the first rotation and
+    /// after an empty window).
+    cached_p99: std::sync::atomic::AtomicU64,
+    /// Samples folded into `cached_p99` at the last rotation.
+    last_window_samples: std::sync::atomic::AtomicU64,
+}
+
+/// Default estimator window: long enough to hold a stable p99 at serving
+/// rates, short enough that admission reacts within a few milliseconds.
+pub const DEFAULT_QUEUE_WAIT_WINDOW_NS: u64 = 5_000_000;
+
+impl Default for QueueWaitEstimator {
+    fn default() -> Self {
+        Self::new(DEFAULT_QUEUE_WAIT_WINDOW_NS)
+    }
+}
+
+impl std::fmt::Debug for QueueWaitEstimator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueueWaitEstimator")
+            .field("window_ns", &self.window_ns)
+            .field("p99", &self.p99())
+            .finish()
+    }
+}
+
+impl QueueWaitEstimator {
+    pub fn new(window_ns: u64) -> Self {
+        assert!(window_ns > 0, "a zero-width window never completes");
+        use std::sync::atomic::AtomicU64;
+        Self {
+            window_ns,
+            created: std::time::Instant::now(),
+            window_start: AtomicU64::new(0),
+            counts: (0..crate::hist::NUM_BUCKETS)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            cached_p99: AtomicU64::new(0),
+            last_window_samples: AtomicU64::new(0),
+        }
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.created.elapsed().as_nanos() as u64
+    }
+
+    /// Record one queue-wait sample (nanoseconds). O(1), lock-free.
+    pub fn record(&self, v: u64) {
+        use std::sync::atomic::Ordering;
+        self.counts[crate::hist::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.maybe_rotate();
+    }
+
+    /// The p99 queue wait of the last completed window, nanoseconds
+    /// (bucket upper edge; 0 when that window held no samples). Also
+    /// advances the window if it has elapsed, so a traffic drought decays
+    /// the estimate instead of freezing it.
+    pub fn p99(&self) -> u64 {
+        self.maybe_rotate();
+        self.cached_p99.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Samples folded into the current [`p99`](Self::p99) estimate.
+    pub fn last_window_samples(&self) -> u64 {
+        self.last_window_samples
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Close the window if it has elapsed: sweep the bucket counts (one
+    /// atomic swap each), fold them into `cached_p99`, and start the next
+    /// window. Exactly one thread wins the CAS per rotation.
+    fn maybe_rotate(&self) {
+        use std::sync::atomic::Ordering;
+        let now = self.now_ns();
+        let start = self.window_start.load(Ordering::Relaxed);
+        if now.wrapping_sub(start) < self.window_ns {
+            return;
+        }
+        if self
+            .window_start
+            .compare_exchange(start, now, Ordering::AcqRel, Ordering::Relaxed)
+            .is_err()
+        {
+            return; // another thread is rotating
+        }
+        let mut total = 0u64;
+        let mut swept = [0u64; crate::hist::NUM_BUCKETS];
+        for (i, c) in self.counts.iter().enumerate() {
+            let n = c.swap(0, Ordering::Relaxed);
+            swept[i] = n;
+            total += n;
+        }
+        let p99 = if total == 0 {
+            0
+        } else {
+            // Nearest-rank p99 over the swept window, reported as the
+            // holding bucket's upper edge (same convention as the
+            // LatencyHistogram percentile path).
+            let target = (((total - 1) as f64 * 0.99).round() as u64 + 1).clamp(1, total);
+            let mut cum = 0u64;
+            let mut out = 0u64;
+            for (idx, &n) in swept.iter().enumerate() {
+                cum += n;
+                if cum >= target {
+                    out = crate::hist::bucket_upper(idx);
+                    break;
+                }
+            }
+            out
+        };
+        self.cached_p99.store(p99, Ordering::Relaxed);
+        self.last_window_samples.store(total, Ordering::Relaxed);
     }
 }
 
@@ -828,6 +1000,90 @@ mod tests {
         sh.global.sheds = 1;
         assert_eq!(sh.sheds(), 5);
         assert_eq!(sh.merged().sheds, 5);
+    }
+
+    #[test]
+    fn steal_and_slo_counters_merge_as_sums() {
+        let mut a = EngineStats {
+            steals: 3,
+            slo_sheds: 2,
+            idle_parks: 10,
+            ..Default::default()
+        };
+        let b = EngineStats {
+            steals: 4,
+            slo_sheds: 1,
+            idle_parks: 5,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!((a.steals, a.slo_sheds, a.idle_parks), (7, 3, 15));
+        let mut sh = ShardedStats::new(2);
+        sh.per_thread[0].steals = 6;
+        sh.per_thread[1].steals = 1;
+        sh.per_thread[1].slo_sheds = 2;
+        sh.global.slo_sheds = 3;
+        assert_eq!(sh.steals(), 7);
+        assert_eq!(sh.slo_sheds(), 5);
+        assert_eq!(sh.merged().steals, 7);
+        assert_eq!(sh.merged().slo_sheds, 5);
+    }
+
+    #[test]
+    fn queue_wait_estimator_reports_windowed_p99() {
+        // A 1ns window: every record/read boundary rotates, so the cached
+        // estimate always reflects the samples recorded since the last
+        // call. 100 samples 1..=100 → p99 = 100 (nearest rank), within the
+        // histogram's bucket error.
+        let est = QueueWaitEstimator::new(1);
+        assert_eq!(est.p99(), 0, "no samples yet");
+        for v in 1..=100u64 {
+            est.counts[crate::hist::bucket_index(v)]
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let p = est.p99();
+        // Nearest rank round(0.99 × 99) + 1 = 99 — matches the
+        // LatencyHistogram percentile convention, exact in the linear
+        // region.
+        assert_eq!(p, 99, "p99 of 1..=100");
+        assert_eq!(est.last_window_samples(), 100);
+        // The next window holds nothing: the estimate decays to 0 instead
+        // of freezing (a shed-starved estimator must reopen admission).
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        assert_eq!(est.p99(), 0, "empty window decays the estimate");
+    }
+
+    #[test]
+    fn queue_wait_estimator_holds_estimate_within_a_window() {
+        // A wide window: records accumulate without rotating, and the
+        // cached estimate stays at its pre-window value until the window
+        // elapses.
+        let est = QueueWaitEstimator::new(u64::MAX / 2);
+        est.record(50);
+        est.record(5_000);
+        assert_eq!(est.p99(), 0, "window still open: cache unchanged");
+        assert_eq!(est.last_window_samples(), 0);
+    }
+
+    #[test]
+    fn queue_wait_estimator_is_concurrency_safe() {
+        let est = std::sync::Arc::new(QueueWaitEstimator::new(100_000));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let est = std::sync::Arc::clone(&est);
+                s.spawn(move || {
+                    for i in 0..20_000u64 {
+                        est.record(1_000 + (t * 7 + i) % 64);
+                    }
+                });
+            }
+        });
+        // After the writers finish, one more elapsed window folds the
+        // remainder; the estimate must land in the recorded range.
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let p = est.p99();
+        assert!(p <= 2_000, "p99 {p} far above the recorded range");
     }
 
     #[test]

@@ -32,9 +32,11 @@ const SUB_BITS: u32 = SUB_BUCKETS.trailing_zeros();
 /// every power of two from `2^LINEAR_BITS` up to `2^63`.
 pub const NUM_BUCKETS: usize = LINEAR_BUCKETS + (64 - LINEAR_BITS as usize) * SUB_BUCKETS;
 
-/// Index of the bucket holding `v`.
+/// Index of the bucket holding `v`. Shared with the windowed queue-wait
+/// estimator in [`crate::engine`], which keeps its own atomic bucket
+/// array over the same geometry.
 #[inline]
-fn bucket_index(v: u64) -> usize {
+pub(crate) fn bucket_index(v: u64) -> usize {
     if v < LINEAR_BUCKETS as u64 {
         return v as usize;
     }
@@ -48,7 +50,7 @@ fn bucket_index(v: u64) -> usize {
 /// Upper edge (inclusive) of bucket `idx` — the value a percentile query
 /// reports for samples that landed there.
 #[inline]
-fn bucket_upper(idx: usize) -> u64 {
+pub(crate) fn bucket_upper(idx: usize) -> u64 {
     if idx < LINEAR_BUCKETS {
         return idx as u64;
     }
@@ -149,6 +151,21 @@ impl LatencyHistogram {
         }
     }
 
+    /// Fraction of recorded samples `≤ v` (0.0 when empty) — the SLO
+    /// attainment query: `fraction_at_or_below(slo)` × throughput is
+    /// goodput at that SLO. Same bucket resolution as
+    /// [`percentile`](Self::percentile): exact below [`LINEAR_BUCKETS`],
+    /// within `1/SUB_BUCKETS` relative error above (samples in `v`'s own
+    /// bucket count as ≤ `v`).
+    pub fn fraction_at_or_below(&self, v: u64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let cut = bucket_index(v);
+        let below: u64 = self.counts[..=cut].iter().sum();
+        below as f64 / self.count as f64
+    }
+
     /// Percentile `p ∈ [0, 100]` by nearest rank, reported as the holding
     /// bucket's upper edge clamped to the observed range — exact below
     /// [`LINEAR_BUCKETS`], within `1/SUB_BUCKETS` relative error above.
@@ -191,6 +208,23 @@ impl PartialEq for LatencyHistogram {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fraction_at_or_below_tracks_the_cdf() {
+        let mut h = LatencyHistogram::new();
+        assert_eq!(h.fraction_at_or_below(10), 0.0, "empty histogram");
+        for v in 1..=10u64 {
+            h.record(v); // linear region: exact buckets
+        }
+        assert!((h.fraction_at_or_below(5) - 0.5).abs() < 1e-12);
+        assert!((h.fraction_at_or_below(10) - 1.0).abs() < 1e-12);
+        assert_eq!(h.fraction_at_or_below(0), 0.0);
+        // Above the linear region the cut rounds to v's own bucket.
+        h.record(1_000_000);
+        let f = h.fraction_at_or_below(1_000_000);
+        assert!((f - 1.0).abs() < 1e-12, "own bucket counts as ≤ v, got {f}");
+        assert!((h.fraction_at_or_below(10) - 10.0 / 11.0).abs() < 1e-12);
+    }
 
     #[test]
     fn linear_region_is_exact() {

@@ -61,7 +61,8 @@ pub mod prelude {
     };
     pub use crate::discrete::{DiscreteKarlin, DiscreteRandRa, DiscreteRandRw};
     pub use crate::engine::{
-        AbortKind, ConflictArbiter, EngineStats, GraceDecision, SeedFanout, ShardedStats,
+        AbortKind, ConflictArbiter, EngineStats, GraceDecision, QueueWaitEstimator, SeedFanout,
+        ShardedStats,
     };
     pub use crate::hist::LatencyHistogram;
     pub use crate::pdf::GracePdf;

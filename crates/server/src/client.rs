@@ -30,7 +30,7 @@ use tcp_workloads::dist::Zipf;
 use crate::config::ServeConfig;
 use crate::protocol::{Key, Request};
 use crate::queue::ReplyCell;
-use crate::router::Router;
+use crate::router::{Router, ShedCause};
 
 /// Key-selection distribution shared by every client.
 #[derive(Clone)]
@@ -127,7 +127,12 @@ pub fn run_client(
                 stats.queue_depth_max = stats.queue_depth_max.max(depth as u64);
                 increments_applied += increments;
             }
-            Err(_shed) => stats.sheds += 1,
+            Err((_shed, cause)) => {
+                stats.sheds += 1;
+                if cause == ShedCause::Slo {
+                    stats.slo_sheds += 1;
+                }
+            }
         }
         spin_ns(think_ns);
     }
@@ -199,7 +204,7 @@ pub fn run_client_open(
         }
         // Pace to the absolute schedule (a stalled window resumes with a
         // burst, as a true open-loop generator must).
-        spin_until(start, at_ns);
+        pace_until(start, at_ns);
         let increments = req.increments();
         let tag = cells[slot].issue();
         match router.submit(req, &cells[slot], tag) {
@@ -208,7 +213,12 @@ pub fn run_client_open(
                 increments_applied += increments;
                 outstanding[slot] = true;
             }
-            Err(_shed) => stats.sheds += 1,
+            Err((_shed, cause)) => {
+                stats.sheds += 1;
+                if cause == ShedCause::Slo {
+                    stats.slo_sheds += 1;
+                }
+            }
         }
     }
     // Reap the tail of the window so the caller knows every admitted
@@ -244,9 +254,34 @@ pub(crate) fn spin_ns(ns: u64) {
     }
 }
 
-/// Spin until `offset_ns` nanoseconds past `start` (absolute pacing, so
-/// schedule error does not accumulate across arrivals).
-fn spin_until(start: Instant, offset_ns: u64) {
+/// How far ahead of the target the pacer switches from sleeping to
+/// spinning. OS sleep granularity is coarse (typically ~50µs–1ms of
+/// overshoot risk), so the pacer sleeps only up to this slack before the
+/// deadline and spins the remainder for precision.
+const PACER_SPIN_SLACK_NS: u64 = 100_000;
+
+/// Hybrid sleep/spin pacer: wait until `offset_ns` nanoseconds past
+/// `start` (absolute pacing, so schedule error does not accumulate across
+/// arrivals). Far from the deadline the thread *sleeps* — on
+/// many-clients-per-core hosts a fleet of spinning pacers would starve
+/// the executors of cycles — and only the final [`PACER_SPIN_SLACK_NS`]
+/// is spun for sub-microsecond arrival precision.
+fn pace_until(start: Instant, offset_ns: u64) {
+    loop {
+        let elapsed = start.elapsed().as_nanos() as u64;
+        if elapsed >= offset_ns {
+            return;
+        }
+        let remaining = offset_ns - elapsed;
+        if remaining <= PACER_SPIN_SLACK_NS {
+            break;
+        }
+        // Sleep up to the spin slack before the deadline; the loop
+        // re-measures, so an early wakeup just sleeps again.
+        std::thread::sleep(std::time::Duration::from_nanos(
+            remaining - PACER_SPIN_SLACK_NS,
+        ));
+    }
     while (start.elapsed().as_nanos() as u64) < offset_ns {
         std::hint::spin_loop();
     }
@@ -292,6 +327,22 @@ mod tests {
             (5_000.0..20_000.0).contains(&mean_gap),
             "mean gap {mean_gap} far from 10µs"
         );
+    }
+
+    #[test]
+    fn pacer_hits_absolute_deadlines() {
+        let start = Instant::now();
+        // 3ms out: far past the spin slack, so this exercises the sleep
+        // branch; the final stretch is spun for precision.
+        pace_until(start, 3_000_000);
+        let elapsed = start.elapsed().as_nanos() as u64;
+        assert!(elapsed >= 3_000_000, "pacer returned early at {elapsed}ns");
+        assert!(
+            elapsed < 3_000_000 + 50_000_000,
+            "pacer overshot wildly: {elapsed}ns"
+        );
+        // A deadline already in the past returns immediately.
+        pace_until(start, 0);
     }
 
     #[test]

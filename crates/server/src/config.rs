@@ -65,6 +65,20 @@ pub struct ServeConfig {
     /// the queue's wakeup handshake and the timestamp read across
     /// requests; `1` degenerates to the old one-at-a-time worker loop.
     pub batch_max: usize,
+    /// Work stealing: an executor whose own ring is empty claims batches
+    /// from sibling rings through the steal-safe consumer protocol, so
+    /// Zipf-hot shards spill onto idle siblings instead of queueing.
+    /// Stolen transactions run on the stealer's STM context; the conflicts
+    /// that can introduce stay governed by the grace policy. Disable for
+    /// strictly partitioned execution (exact per-shard stats
+    /// determinism).
+    pub steal: bool,
+    /// Queue-wait SLO for adaptive admission, microseconds; `0` keeps the
+    /// fixed shed-on-full-only behavior. When set, a shard sheds while its
+    /// windowed p99 queue wait exceeds the SLO (with hysteresis — see
+    /// `Router::with_slo_us`), converting queueing time into cheap early
+    /// rejections at overload.
+    pub slo_us: u64,
     /// Width of one per-interval throughput sample in nanoseconds;
     /// `0` disables interval sampling.
     pub stats_interval_ns: u64,
@@ -88,6 +102,8 @@ impl Default for ServeConfig {
             queue_capacity: 64,
             mode: LoadMode::Closed,
             batch_max: 16,
+            steal: true,
+            slo_us: 0,
             stats_interval_ns: 10_000_000,
             seed: 42,
         }
@@ -195,6 +211,13 @@ mod tests {
             ..Default::default()
         }
         .validate();
+    }
+
+    #[test]
+    fn default_config_steals_without_slo() {
+        let cfg = ServeConfig::default();
+        assert!(cfg.steal, "work stealing is the default serving behavior");
+        assert_eq!(cfg.slo_us, 0, "adaptive admission is opt-in");
     }
 
     #[test]

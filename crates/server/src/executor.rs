@@ -1,13 +1,28 @@
-//! Batch-executing shard workers — the back half of the request path
+//! Work-stealing batch executors — the back half of the request path
 //! (client → router → shard ring → **batch executor** → STM).
 //!
 //! One executor per shard drains its bounded lock-free ring in batches
-//! (up to `batch_max` envelopes per [`ShardQueue::pop_batch`]), executing
-//! every request as an STM transaction through one long-lived
+//! (up to `batch_max` envelopes per pop), executing every request as an
+//! STM transaction through one long-lived
 //! [`TxCtx`](tcp_stm::runtime::TxCtx). Batching amortizes the queue's
 //! park/unpark handshake, the pop-side timestamp read, and — because the
 //! context recycles its read/write-set allocations — the per-transaction
 //! setup across the batch.
+//!
+//! With **work stealing** enabled (`ExecutorConfig::steal`), an executor
+//! whose own ring is empty scans its sibling rings (rotating order,
+//! starting at the next shard) and claims a batch through the ring's
+//! steal-safe consumer protocol ([`ShardQueue::try_pop_batch`]). Stolen
+//! transactions execute on the *stealer's* STM context against the shared
+//! heap, so the conflicts stealing can introduce — two executors touching
+//! the same hot key — route through the same
+//! [`ConflictArbiter`](tcp_core::engine::ConflictArbiter) wait/abort
+//! machinery as every other conflict; placement changes, policy does not.
+//! When nothing is claimable anywhere, the executor parks briefly on its
+//! own ring ([`ShardQueue::park_consumer_timeout`]) and rescans, because
+//! a backlog appearing on a sibling ring never unparks it directly.
+//! Steals and idle parks are counted per shard (`EngineStats::steals`,
+//! `EngineStats::idle_parks`).
 //!
 //! The executor is also where latency is measured and decomposed:
 //!
@@ -18,11 +33,12 @@
 //! * **sojourn** = queue wait + service, the end-to-end quantity whose
 //!   tail percentiles the policy comparison reports.
 //!
-//! Every conflict a cross-shard RMW provokes consults the shared
-//! [`ConflictArbiter`](tcp_core::engine::ConflictArbiter) for its
-//! wait/abort decision, exactly like the offline substrates.
+//! Each envelope's queue wait is additionally fed to the *source ring's*
+//! [`QueueWaitEstimator`](tcp_core::engine::QueueWaitEstimator), the
+//! sensor behind SLO-aware adaptive admission in the router.
 
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use tcp_core::engine::EngineStats;
 use tcp_core::policy::GracePolicy;
@@ -33,11 +49,24 @@ use crate::client::spin_ns;
 use crate::protocol::{Request, Response};
 use crate::queue::ShardQueue;
 
+/// Shortest idle park of a work-stealing executor between steal scans —
+/// the first wait after running out of work, so a hot sibling's backlog
+/// is picked up promptly.
+const IDLE_PARK_MIN: Duration = Duration::from_micros(50);
+/// Longest idle park: consecutive empty scans double the park up to this
+/// cap, so a genuinely idle shard costs ~600 wakeups/s instead of 20k —
+/// on a single-core host that scheduler churn is throughput taken
+/// straight from the busy executors. A push to the own ring still
+/// unparks immediately; only the *sibling*-backlog noticing latency is
+/// bounded by this cap.
+const IDLE_PARK_MAX: Duration = Duration::from_micros(1_600);
+
 /// Everything one shard executor needs beyond its queue.
 pub struct ExecutorConfig {
-    /// Shard index = STM thread id of this executor's context.
+    /// Shard index = STM thread id of this executor's context, and the
+    /// index of its own ring in the queue slice.
     pub shard: usize,
-    /// Most envelopes popped per batch (≥ 1).
+    /// Most envelopes popped per batch (≥ 1), own or stolen.
     pub batch_max: usize,
     /// In-transaction compute per request, nanoseconds.
     pub work_ns: u64,
@@ -45,26 +74,83 @@ pub struct ExecutorConfig {
     pub stats_interval_ns: u64,
     /// Run epoch: interval samples bucket `now − run_start`.
     pub run_start: Instant,
+    /// Steal batches from sibling rings when the own ring is empty.
+    pub steal: bool,
 }
 
-/// Drain `queue` to exhaustion (until it is closed and empty), executing
-/// every request on `stm` under `policy`. Returns the shard's tally:
-/// commits/aborts from the STM, queue-wait + service + sojourn histograms,
-/// and per-interval throughput samples.
+/// Drain the shard's ring (`queues[cfg.shard]`) to exhaustion, executing
+/// every request on `stm` under `policy`; with `cfg.steal`, also help
+/// drain sibling rings whenever the own ring is empty. Returns the
+/// shard's tally: commits/aborts from the STM, queue-wait + service +
+/// sojourn histograms, per-interval throughput samples, and the
+/// steal/idle counters. The executor exits when its own ring — and, when
+/// stealing, *every* ring — is closed and drained.
 pub fn run_executor<P: GracePolicy>(
     stm: &Stm,
     policy: P,
     rng: Xoshiro256StarStar,
-    queue: &ShardQueue,
+    queues: &[Arc<ShardQueue>],
     cfg: &ExecutorConfig,
 ) -> EngineStats {
     let mut ctx = TxCtx::new(stm, cfg.shard, policy, Box::new(rng));
     ctx.stats.interval_ns = cfg.stats_interval_ns;
+    let own = &queues[cfg.shard];
     let mut batch = Vec::with_capacity(cfg.batch_max);
+    let mut idle_park = IDLE_PARK_MIN;
     loop {
-        if queue.pop_batch(cfg.batch_max, &mut batch) == 0 {
-            break;
+        // Own ring first: home work keeps its locality and its FIFO.
+        let mut source = cfg.shard;
+        let mut n = if cfg.steal {
+            own.try_pop_batch(cfg.batch_max, &mut batch)
+        } else {
+            // Without stealing the owner is the only consumer; the
+            // blocking pop parks until work arrives or the ring closes.
+            match own.pop_batch(cfg.batch_max, &mut batch) {
+                0 => break,
+                n => n,
+            }
+        };
+        if cfg.steal && n == 0 {
+            // Idle: steal from the *deepest* sibling ring (longest-queue-
+            // first — under Zipf skew the whole point is relieving the hot
+            // shard, so don't waste the claim on a shallow ring that
+            // happens to come first in scan order), taking up to half its
+            // backlog bounded by 4× the batch cap (the classic steal-half
+            // policy). A deep hot ring sheds a big chunk in one claim
+            // instead of dribbling out batch_max at a time, which is what
+            // actually lowers its depth high-water on a host where the
+            // stealer's next timeslice may be a while away. Ties and
+            // races just mean a smaller (or empty) claim — the claim
+            // itself is what's exact, not the depth snapshot. Singles are
+            // worth stealing too: under closed-loop load a waiting client
+            // is unblocked *now* instead of at the owner's next
+            // timeslice.
+            let victim = (1..queues.len())
+                .map(|i| (cfg.shard + i) % queues.len())
+                .max_by_key(|&v| queues[v].depth());
+            if let Some(victim) = victim {
+                let want = (queues[victim].depth() / 2).clamp(cfg.batch_max, 4 * cfg.batch_max);
+                let got = queues[victim].try_pop_batch(want, &mut batch);
+                if got > 0 {
+                    source = victim;
+                    n = got;
+                    ctx.stats.steals += got as u64;
+                }
+            }
         }
+        if cfg.steal && n == 0 {
+            // Nothing claimable anywhere. Exit only once every ring is
+            // closed and drained — a stealing executor may be the one
+            // draining the hot ring's final backlog.
+            if queues.iter().all(|q| q.is_finished()) {
+                break;
+            }
+            ctx.stats.idle_parks += 1;
+            own.park_consumer_timeout(idle_park);
+            idle_park = (idle_park * 2).min(IDLE_PARK_MAX);
+            continue;
+        }
+        idle_park = IDLE_PARK_MIN;
         // Each envelope's service clock starts when its own execution
         // does: the batch-pop timestamp for the first, the previous
         // envelope's completion for the rest. Head-of-line blocking behind
@@ -79,6 +165,7 @@ pub fn run_executor<P: GracePolicy>(
             let resp = execute(&mut ctx, &env.req, cfg.work_ns);
             let done = Instant::now();
             let service = done.saturating_duration_since(service_start).as_nanos() as u64;
+            queues[source].record_queue_wait(queue_wait);
             ctx.stats.record_queue_wait(queue_wait);
             ctx.stats.record_service(service);
             ctx.stats
@@ -92,6 +179,10 @@ pub fn run_executor<P: GracePolicy>(
             service_start = done;
         }
     }
+    // Surface this shard's ring high-water mark through the per-shard
+    // stats (merging still takes the max, so the global view is the
+    // deepest ring of the run).
+    ctx.stats.queue_depth_max = ctx.stats.queue_depth_max.max(own.depth_max());
     ctx.stats
 }
 
@@ -151,38 +242,41 @@ mod tests {
     use std::sync::Arc;
     use tcp_core::policy::NoDelay;
 
-    fn drain_config(shard: usize) -> ExecutorConfig {
+    fn drain_config(shard: usize, steal: bool) -> ExecutorConfig {
         ExecutorConfig {
             shard,
             batch_max: 4,
             work_ns: 0,
             stats_interval_ns: 1_000_000,
             run_start: Instant::now(),
+            steal,
         }
+    }
+
+    fn filled_queue(keys: std::ops::Range<u64>) -> (Arc<ShardQueue>, Vec<Arc<ReplyCell>>) {
+        let queue = Arc::new(ShardQueue::new(32));
+        let cells: Vec<_> = keys.clone().map(|_| Arc::new(ReplyCell::new())).collect();
+        for (k, cell) in keys.zip(cells.iter()) {
+            let gen = cell.issue();
+            queue
+                .try_push(Envelope::new(Request::Add(k, 1), Arc::clone(cell), gen))
+                .unwrap_or_else(|_| panic!("push"));
+        }
+        (queue, cells)
     }
 
     #[test]
     fn executor_drains_batches_and_decomposes_latency() {
         let stm = Stm::new(64, 1);
-        let queue = ShardQueue::new(32);
-        let cells: Vec<_> = (0..10).map(|_| Arc::new(ReplyCell::new())).collect();
-        for (k, cell) in cells.iter().enumerate() {
-            let gen = cell.issue();
-            queue
-                .try_push(Envelope::new(
-                    Request::Add(k as u64, 1),
-                    Arc::clone(cell),
-                    gen,
-                ))
-                .unwrap_or_else(|_| panic!("push"));
-        }
+        let (queue, cells) = filled_queue(0..10);
         queue.close();
+        let queues = [queue];
         let stats = run_executor(
             &stm,
             NoDelay::requestor_aborts(),
             Xoshiro256StarStar::new(1),
-            &queue,
-            &drain_config(0),
+            &queues,
+            &drain_config(0, false),
         );
         assert_eq!(stats.commits, 10, "one commit per admitted request");
         assert_eq!(stats.queue_wait_hist.count(), 10);
@@ -193,6 +287,11 @@ mod tests {
             10,
             "every commit lands in a throughput interval"
         );
+        assert_eq!(stats.steals, 0, "nothing to steal from oneself");
+        assert!(
+            stats.queue_depth_max >= 10,
+            "ring high-water mark must surface per shard"
+        );
         // Sojourn is never smaller than either of its components.
         assert!(stats.latency_percentile(100.0) >= stats.queue_wait_percentile(100.0));
         assert!(stats.latency_percentile(100.0) >= stats.service_percentile(100.0));
@@ -202,6 +301,53 @@ mod tests {
             assert_eq!(cell.faults(), (0, 0));
         }
         assert_eq!(stm.read_direct(3), 1);
+    }
+
+    #[test]
+    fn stealing_executor_drains_sibling_backlog() {
+        // Shard 1's executor starts with an *empty* own ring while shard
+        // 0's ring holds a backlog; with stealing on it must drain the
+        // sibling, count the steals, and deliver every reply.
+        let stm = Stm::new(64, 2);
+        let (hot, cells) = filled_queue(0..12);
+        let idle = Arc::new(ShardQueue::new(32));
+        hot.close();
+        idle.close();
+        let queues = [Arc::clone(&hot), idle];
+        let stats = run_executor(
+            &stm,
+            NoDelay::requestor_aborts(),
+            Xoshiro256StarStar::new(3),
+            &queues,
+            &drain_config(1, true),
+        );
+        assert_eq!(stats.commits, 12, "the stealer executed the backlog");
+        assert_eq!(stats.steals, 12, "every envelope was a steal");
+        assert_eq!(stats.latency_hist.count(), 12);
+        for cell in &cells {
+            assert_eq!(cell.take(), Response::Added(1));
+            assert_eq!(cell.faults(), (0, 0));
+        }
+    }
+
+    #[test]
+    fn steal_disabled_executor_leaves_siblings_alone() {
+        let stm = Stm::new(64, 2);
+        let (sibling, _cells) = filled_queue(0..5);
+        let own = Arc::new(ShardQueue::new(32));
+        own.close();
+        let queues = [Arc::clone(&own), Arc::clone(&sibling)];
+        let stats = run_executor(
+            &stm,
+            NoDelay::requestor_aborts(),
+            Xoshiro256StarStar::new(5),
+            &queues,
+            &drain_config(0, false),
+        );
+        assert_eq!(stats.commits, 0);
+        assert_eq!(stats.steals, 0);
+        assert_eq!(sibling.depth(), 5, "sibling backlog untouched");
+        sibling.close();
     }
 
     #[test]

@@ -11,20 +11,28 @@
 //! ## Request path
 //!
 //! ```text
-//! client ─▶ router ─▶ shard ring (lock-free MPSC) ─▶ batch executor ─▶ STM
-//!   │         │                                          │
-//!   │         └ stamps enqueue timestamp, sheds on full  ├ queue-wait = service start − enqueue
-//!   └ closed loop (1 outstanding) or                     ├ service    = response − service start
-//!     open loop (seeded Poisson schedule, window)        └ sojourn    = their sum
+//! client ─▶ router ─▶ shard ring (lock-free, steal-safe) ─▶ batch executor ─▶ STM
+//!   │         │                                                │
+//!   │         └ stamps enqueue timestamp, sheds on             ├ queue-wait = service start − enqueue
+//!   │           full ring or (optional) on blown               ├ service    = response − service start
+//!   │           queue-wait SLO (windowed p99 + hysteresis)     ├ sojourn    = their sum
+//!   └ closed loop (1 outstanding) or                           └ idle ⇒ steal a batch from the
+//!     open loop (seeded Poisson schedule, window)                deepest sibling ring
 //! ```
 //!
 //! * [`router::Router`] applies the one canonical key→shard rule
-//!   (`key % shards`) and admission control;
-//! * [`queue::ShardQueue`] is a hand-rolled bounded lock-free MPSC ring
+//!   (`key % shards`) and admission control — the hard capacity bound
+//!   plus optional SLO-aware adaptive admission driven by each ring's
+//!   windowed p99 queue-wait estimator
+//!   ([`QueueWaitEstimator`](tcp_core::engine::QueueWaitEstimator));
+//! * [`queue::ShardQueue`] is a hand-rolled bounded lock-free ring
 //!   (Vyukov-style sequence slots, CAS ticket tail, `park`/`unpark` for
-//!   the idle worker) that sheds on full;
+//!   the idle owner) that sheds on full, with a **steal-safe CAS-claimed
+//!   consumer side** so non-owner executors can pop batches;
 //! * [`executor`] drains each ring in batches through one long-lived
-//!   [`TxCtx`](tcp_stm::runtime::TxCtx) (recycled read/write sets) and
+//!   [`TxCtx`](tcp_stm::runtime::TxCtx) (recycled read/write sets),
+//!   steals from the deepest sibling ring when its own is empty (stolen
+//!   transactions stay policy-governed through the shared arbiter), and
 //!   decomposes every request's latency into queue-wait + service;
 //! * [`client`] offers load either closed-loop (self-clocking, for peak
 //!   throughput) or open-loop (deterministic seeded arrival schedule with
@@ -44,7 +52,8 @@
 //! | Multi-key transactions provoking conflict chains | [`protocol::Request::Rmw`] spanning shards | §3 (conflict chains) |
 //! | Closed/open-loop load, think time, key skew | [`client`] (cf. "practically wait-free" scheduler-driven load) | §8 (evaluation methodology) |
 //! | Sojourn = queue-wait + service decomposition | [`executor`] + [`tcp_core::hist::LatencyHistogram`] ×3 | §8 figures' y-axes |
-//! | Admission control / backpressure | [`queue::ShardQueue`] shed-on-full, `EngineStats::sheds` | extension |
+//! | Admission control / backpressure | [`queue::ShardQueue`] shed-on-full + SLO-aware adaptive admission ([`router`]) | extension |
+//! | Steal-safe lock-free ring consumers, work stealing | [`queue`] CAS-claimed head, [`executor`] steal loop | extension (cf. "Are Lock-Free Concurrent Algorithms Practically Wait-Free?") |
 //!
 //! ## Shape
 //!
@@ -94,6 +103,6 @@ pub mod prelude {
     pub use crate::executor::{execute, run_executor, ExecutorConfig};
     pub use crate::protocol::{Key, Request, Response};
     pub use crate::queue::{Envelope, PutStatus, ReplyCell, ShardQueue};
-    pub use crate::router::Router;
+    pub use crate::router::{Router, ShedCause};
     pub use crate::server::{run_server, ServeReport};
 }

@@ -1,20 +1,30 @@
 //! Bounded lock-free per-shard request queues (the admission-control knob)
 //! and the generation-tagged reply cell.
 //!
-//! Each shard owns one [`ShardQueue`]: a hand-rolled bounded MPSC ring in
-//! the style of Vyukov's bounded queue (per-slot sequence numbers, CAS on
-//! the producer cursor) with `thread::park`/`unpark` for the idle shard
+//! Each shard owns one [`ShardQueue`]: a hand-rolled bounded ring in the
+//! style of Vyukov's bounded queue (per-slot sequence numbers, CAS on the
+//! producer cursor) with `thread::park`/`unpark` for the idle shard
 //! worker — no `Mutex`, no `Condvar` on the request path, which is exactly
 //! the concern of "Are Lock-Free Concurrent Algorithms Practically
 //! Wait-Free?": under load the synchronization substrate itself dominates.
 //!
+//! The consumer side is **steal-safe**: the head cursor is CAS-claimed,
+//! so besides the owning shard executor, idle sibling executors may pop
+//! batches with [`try_pop_batch`](ShardQueue::try_pop_batch) (work
+//! stealing). The claim protocol is the classic Vyukov MPMC dequeue — a
+//! consumer only CASes the head after observing the slot published, and
+//! ownership of the payload transfers with the CAS — so an owner pop and
+//! a concurrent steal can race without loss, duplication, or tearing.
+//! Only the *owner* ever parks; stealers are strictly non-blocking.
+//!
 //! Clients submit with [`try_push`](ShardQueue::try_push), which **sheds on
 //! full** rather than blocking — the backpressure policy of the service
 //! layer. A shed request is counted in `EngineStats::sheds` by the client
-//! and never reaches the STM. The single shard worker drains with
-//! [`pop_batch`](ShardQueue::pop_batch) (amortizing wakeups across a
-//! batch) until the server [`close`](ShardQueue::close)s the queue at the
-//! end of the run.
+//! and never reaches the STM. Each queue also carries a
+//! [`QueueWaitEstimator`]: executors feed it the queue wait of every
+//! envelope they pop, and SLO-aware adaptive admission (see
+//! `crate::router`) reads its windowed p99 to decide whether to shed
+//! *before* the ring fills.
 //!
 //! Responses travel back through a reusable [`ReplyCell`] per client slot,
 //! tagged with a per-request generation so a double-delivery or a stale
@@ -23,10 +33,12 @@
 
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::Thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+use tcp_core::engine::QueueWaitEstimator;
 
 use crate::protocol::{Request, Response};
 
@@ -66,15 +78,17 @@ struct Slot {
     env: UnsafeCell<MaybeUninit<Envelope>>,
 }
 
-/// A bounded lock-free MPSC queue feeding one shard worker.
+/// A bounded lock-free queue feeding one shard worker, steal-safe on the
+/// consumer side.
 ///
 /// * **Producers** (any number of client threads) reserve a ticket with a
 ///   CAS on `tail`; admission is capped at `capacity` outstanding
 ///   envelopes, shedding beyond it.
-/// * **The consumer** (exactly one shard worker thread) pops in ticket
-///   order; when the ring is empty it parks and the next producer unparks
-///   it. The single-consumer discipline is what makes `head` a plain
-///   store from the consumer side.
+/// * **Consumers**: the owning shard worker pops (blocking, with
+///   park/unpark), and idle sibling workers may steal batches
+///   (non-blocking). Every consumer claims positions with a CAS on
+///   `head` *after* observing the slot published, so concurrent pops
+///   partition the envelopes — each is delivered exactly once.
 pub struct ShardQueue {
     slots: Box<[Slot]>,
     /// Ring-index mask (`slots.len()` is a power of two ≥ `capacity`).
@@ -86,14 +100,23 @@ pub struct ShardQueue {
     /// no producer can win a ticket after `close()` — closing is a true
     /// linearization point, not a racy flag read.
     tail: AtomicUsize,
-    /// Consumer position (written only by the consumer).
+    /// Consumer position, CAS-claimed by the owner and by stealers.
     head: AtomicUsize,
-    /// The consumer thread's handle, registered on its first blocking pop
-    /// so producers can unpark it.
+    /// The owning consumer thread's handle, registered on its first
+    /// blocking pop so producers can unpark it. Stealers never park and
+    /// never register here.
     consumer: OnceLock<Thread>,
-    /// True while the consumer is parked (or about to park); producers
-    /// clear it with a swap so only one of them pays the unpark syscall.
+    /// True while the owner is parked (or about to park); producers clear
+    /// it with a swap so only one of them pays the unpark syscall.
     sleeping: AtomicBool,
+    /// High-water mark of the post-push depth snapshots — the per-shard
+    /// backlog indicator the skew bench reports.
+    depth_max: AtomicU64,
+    /// Windowed p99 queue-wait sensor feeding SLO-aware admission.
+    /// Executors record into it for every envelope popped *from this
+    /// ring* (stolen or not), so the estimate tracks the ring the request
+    /// actually waited in.
+    estimator: QueueWaitEstimator,
 }
 
 /// High bit of `tail`: set by [`ShardQueue::close`]. Ticket positions use
@@ -106,8 +129,9 @@ const TICKET_MASK: usize = CLOSED_BIT - 1;
 // threads under the per-slot `seq` protocol above — a slot's payload is
 // written exactly once by the producer holding its ticket (before the
 // `Release` store that publishes `seq = pos + 1`) and read exactly once by
-// the single consumer (after the `Acquire` load observing it). `Envelope`
-// itself is `Send`.
+// whichever consumer wins the head CAS for that position (claiming only
+// after the `Acquire` load observing the publication). `Envelope` itself
+// is `Send`.
 unsafe impl Send for ShardQueue {}
 unsafe impl Sync for ShardQueue {}
 
@@ -128,7 +152,29 @@ impl ShardQueue {
             head: AtomicUsize::new(0),
             consumer: OnceLock::new(),
             sleeping: AtomicBool::new(false),
+            depth_max: AtomicU64::new(0),
+            estimator: QueueWaitEstimator::default(),
         }
+    }
+
+    /// Deepest post-push depth snapshot observed on this ring.
+    pub fn depth_max(&self) -> u64 {
+        self.depth_max.load(Ordering::Relaxed)
+    }
+
+    /// Record the queue wait (enqueue → pop, nanoseconds) of an envelope
+    /// popped from this ring, feeding the windowed p99 the router's
+    /// SLO-aware admission reads. Called by whichever executor popped the
+    /// envelope — owner or stealer — so the sensor tracks the ring the
+    /// request actually waited in.
+    pub fn record_queue_wait(&self, ns: u64) {
+        self.estimator.record(ns);
+    }
+
+    /// Windowed p99 queue wait of this ring, nanoseconds (see
+    /// [`QueueWaitEstimator`]). 0 until the first completed window.
+    pub fn queue_wait_p99(&self) -> u64 {
+        self.estimator.p99()
     }
 
     /// Envelopes currently admitted but not yet popped (racy snapshot,
@@ -185,6 +231,7 @@ impl ShardQueue {
                             let depth = ((tail + 1).wrapping_sub(head_now) as isize)
                                 .clamp(0, self.capacity as isize)
                                 as usize;
+                            self.depth_max.fetch_max(depth as u64, Ordering::Relaxed);
                             self.wake_consumer();
                             return Ok(depth);
                         }
@@ -200,20 +247,63 @@ impl ShardQueue {
         }
     }
 
-    /// Consumer-only: take the envelope at `head` if one is published.
+    /// Claim and take the envelope at `head` if one is published.
+    /// Steal-safe (the Vyukov MPMC dequeue): a consumer only CASes `head`
+    /// forward after observing the slot published for that position, and
+    /// the CAS transfers payload ownership — so any number of concurrent
+    /// consumers partition the envelopes exactly-once.
     fn try_pop_one(&self) -> Option<Envelope> {
-        let head = self.head.load(Ordering::SeqCst);
-        let slot = &self.slots[head & self.mask];
-        let seq = slot.seq.load(Ordering::Acquire);
-        if (seq as isize).wrapping_sub(head.wrapping_add(1) as isize) < 0 {
-            return None; // not yet published
+        let mut head = self.head.load(Ordering::SeqCst);
+        loop {
+            let slot = &self.slots[head & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let dif = (seq as isize).wrapping_sub(head.wrapping_add(1) as isize);
+            match dif.cmp(&0) {
+                // Published: try to claim this position.
+                std::cmp::Ordering::Equal => {
+                    match self.head.compare_exchange_weak(
+                        head,
+                        head.wrapping_add(1),
+                        Ordering::SeqCst,
+                        Ordering::SeqCst,
+                    ) {
+                        Ok(_) => {
+                            let env = unsafe { (*slot.env.get()).assume_init_read() };
+                            // Free the slot for the producers' next lap.
+                            slot.seq
+                                .store(head.wrapping_add(self.slots.len()), Ordering::Release);
+                            return Some(env);
+                        }
+                        Err(h) => head = h, // another consumer claimed; retry
+                    }
+                }
+                // Not yet published at this position: the ring is empty
+                // here (or the producer is mid-publish — the blocking
+                // paths spin that out; a non-blocking caller just leaves).
+                std::cmp::Ordering::Less => return None,
+                // A consumer already consumed this lap's slot; reload.
+                std::cmp::Ordering::Greater => head = self.head.load(Ordering::SeqCst),
+            }
         }
-        let env = unsafe { (*slot.env.get()).assume_init_read() };
-        // Free the slot for the producers' next lap, then advance.
-        slot.seq
-            .store(head.wrapping_add(self.slots.len()), Ordering::Release);
-        self.head.store(head.wrapping_add(1), Ordering::SeqCst);
-        Some(env)
+    }
+
+    /// Non-blocking batch pop: claim up to `max` published envelopes into
+    /// `out` and return the number appended (0 when nothing is claimable
+    /// right now). Safe to call from *any* thread concurrently with the
+    /// owner — this is the steal entry point of the work-stealing
+    /// executors, and also the owner's fast path when stealing is on.
+    pub fn try_pop_batch(&self, max: usize, out: &mut Vec<Envelope>) -> usize {
+        let mut n = 0;
+        while n < max {
+            match self.try_pop_one() {
+                Some(env) => {
+                    out.push(env);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        n
     }
 
     /// Block until at least one envelope is available or the queue is
@@ -233,20 +323,12 @@ impl ShardQueue {
     /// available or the queue is closed *and* drained. Returns the number
     /// appended; `0` signals the worker to exit. Batching amortizes the
     /// park/unpark handshake and the executor's per-wakeup setup across
-    /// the whole batch.
+    /// the whole batch. Owner-only (it parks); stealers use
+    /// [`try_pop_batch`](Self::try_pop_batch).
     pub fn pop_batch(&self, max: usize, out: &mut Vec<Envelope>) -> usize {
         assert!(max > 0, "popping a zero-sized batch would spin forever");
         loop {
-            let mut n = 0;
-            while n < max {
-                match self.try_pop_one() {
-                    Some(env) => {
-                        out.push(env);
-                        n += 1;
-                    }
-                    None => break,
-                }
-            }
+            let n = self.try_pop_batch(max, out);
             if n > 0 {
                 return n;
             }
@@ -254,6 +336,45 @@ impl ShardQueue {
                 return 0;
             }
         }
+    }
+
+    /// True once the queue is closed *and* every won ticket has been
+    /// claimed by some consumer — the collective exit condition of the
+    /// work-stealing executors (a stolen batch may be mid-execution on a
+    /// sibling, but it is that sibling's responsibility; nothing remains
+    /// *here*). Exact for the same reason `block_until_ready`'s exit is:
+    /// the closed bit shares the ticket word, so no later ticket can win.
+    pub fn is_finished(&self) -> bool {
+        let tail_word = self.tail.load(Ordering::SeqCst);
+        tail_word & CLOSED_BIT != 0 && self.head.load(Ordering::SeqCst) == tail_word & TICKET_MASK
+    }
+
+    /// True once [`close`](Self::close) was called (admission permanently
+    /// rejects; a backlog may remain to drain).
+    pub fn is_closed(&self) -> bool {
+        self.tail.load(Ordering::SeqCst) & CLOSED_BIT != 0
+    }
+
+    /// Owner-only idle wait with a deadline: park until a producer pushes,
+    /// the queue closes, or `timeout` elapses — whichever comes first.
+    /// The work-stealing executor uses this between steal scans so a
+    /// backlog appearing on a *sibling* ring (which never unparks this
+    /// thread) is still noticed within `timeout`.
+    pub fn park_consumer_timeout(&self, timeout: Duration) {
+        let _ = self.consumer.set(std::thread::current());
+        self.sleeping.store(true, Ordering::SeqCst);
+        // Recheck under the sleeping flag (same lost-wakeup protocol as
+        // `block_until_ready`): anything already available or a concurrent
+        // close skips the park entirely.
+        let tail_word = self.tail.load(Ordering::SeqCst);
+        if self.head.load(Ordering::SeqCst) != tail_word & TICKET_MASK
+            || tail_word & CLOSED_BIT != 0
+        {
+            self.sleeping.store(false, Ordering::SeqCst);
+            return;
+        }
+        std::thread::park_timeout(timeout);
+        self.sleeping.store(false, Ordering::SeqCst);
     }
 
     /// Park until the envelope at `head` is published. Returns `false`

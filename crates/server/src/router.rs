@@ -5,28 +5,82 @@
 //! the one canonical key→shard rule of the service
 //! ([`Request::home_shard`]: `key % shards`). Submission stamps the
 //! enqueue timestamp (so downstream latency decomposes into queue-wait +
-//! service) and **sheds on full**: a rejected request is handed back to
-//! the caller, counted, and never reaches the STM.
+//! service) and **sheds** rather than blocking: a rejected request is
+//! handed back to the caller with its [`ShedCause`], counted, and never
+//! reaches the STM.
+//!
+//! Two admission regimes compose:
+//!
+//! * **Capacity** (always on): a full ring sheds — the hard backpressure
+//!   bound.
+//! * **SLO-aware adaptive admission** (optional, [`Router::with_slo_us`]):
+//!   each ring's [`QueueWaitEstimator`](tcp_core::engine::QueueWaitEstimator)
+//!   tracks a windowed p99 queue wait; when it exceeds the configured SLO
+//!   the shard starts shedding *before* the ring fills, and keeps
+//!   shedding until the p99 recovers below [`SLO_EXIT_PERCENT`]% of the
+//!   SLO (hysteresis, so the gate doesn't chatter at the boundary). The
+//!   state machine per shard is just two states:
+//!
+//!   ```text
+//!            p99 > slo                     p99 ≤ slo × 0.8
+//!   ADMIT ───────────────▶ SHED ──────────────────────────▶ ADMIT
+//!     ▲                      │  (estimator windows decay to 0 in a
+//!     └──────────────────────┘   traffic drought, so SHED always exits)
+//!   ```
+//!
+//!   Shedding early converts queueing time (paid by every later request
+//!   on the ring) into cheap rejections, which is what preserves goodput
+//!   at overload — the quantity the `serve_skew` bench sweeps.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use crate::protocol::Request;
 use crate::queue::{Envelope, ReplyCell, ShardQueue};
 
+/// Why a submission was shed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShedCause {
+    /// The ring was full (or closed) — the hard capacity bound.
+    Capacity,
+    /// SLO-aware adaptive admission: the shard's windowed p99 queue wait
+    /// exceeded the SLO and the hysteresis gate is shedding.
+    Slo,
+}
+
+/// Hysteresis exit threshold: a shedding shard re-admits once its p99
+/// queue wait falls back below this percentage of the SLO.
+pub const SLO_EXIT_PERCENT: u64 = 80;
+
 /// The routing/admission front end shared by every client.
 pub struct Router {
     queues: Vec<Arc<ShardQueue>>,
+    /// Queue-wait SLO in nanoseconds; 0 disables adaptive admission.
+    slo_ns: u64,
+    /// Per-shard hysteresis state: true while the shard is shedding.
+    shedding: Vec<AtomicBool>,
 }
 
 impl Router {
-    /// A router over `shards` rings of `queue_capacity` envelopes each.
+    /// A router over `shards` rings of `queue_capacity` envelopes each,
+    /// with capacity-only admission (no SLO gate).
     pub fn new(shards: usize, queue_capacity: usize) -> Self {
         assert!(shards >= 1, "need at least one shard");
         Self {
             queues: (0..shards)
                 .map(|_| Arc::new(ShardQueue::new(queue_capacity)))
                 .collect(),
+            slo_ns: 0,
+            shedding: (0..shards).map(|_| AtomicBool::new(false)).collect(),
         }
+    }
+
+    /// Enable SLO-aware adaptive admission: shed a shard's submissions
+    /// while its windowed p99 queue wait exceeds `slo_us` microseconds
+    /// (with hysteresis). `0` leaves admission capacity-only.
+    pub fn with_slo_us(mut self, slo_us: u64) -> Self {
+        self.slo_ns = slo_us.saturating_mul(1_000);
+        self
     }
 
     pub fn shards(&self) -> usize {
@@ -38,13 +92,57 @@ impl Router {
         Arc::clone(&self.queues[shard])
     }
 
+    /// All rings in shard order — the slice the work-stealing executors
+    /// scan.
+    pub fn queues(&self) -> Vec<Arc<ShardQueue>> {
+        self.queues.clone()
+    }
+
     /// Route `req` to its home shard and try to admit it, stamping the
     /// enqueue timestamp. Returns the post-push queue depth on admission;
-    /// hands the request back on shed so the caller keeps ownership.
-    pub fn submit(&self, req: Request, reply: &Arc<ReplyCell>, gen: u64) -> Result<usize, Request> {
+    /// hands the request back with the shed cause on rejection so the
+    /// caller keeps ownership and can account the cause.
+    pub fn submit(
+        &self,
+        req: Request,
+        reply: &Arc<ReplyCell>,
+        gen: u64,
+    ) -> Result<usize, (Request, ShedCause)> {
         let shard = req.home_shard(self.queues.len());
+        if self.slo_ns > 0 && self.slo_gate_sheds(shard) {
+            return Err((req, ShedCause::Slo));
+        }
         let env = Envelope::new(req, Arc::clone(reply), gen);
-        self.queues[shard].try_push(env).map_err(|env| env.req)
+        self.queues[shard]
+            .try_push(env)
+            .map_err(|env| (env.req, ShedCause::Capacity))
+    }
+
+    /// Advance shard `shard`'s hysteresis gate against its current
+    /// windowed p99 and report whether it sheds. Racing submitters may
+    /// both update the flag; they converge on the same estimator value,
+    /// so the race only reorders identical stores.
+    fn slo_gate_sheds(&self, shard: usize) -> bool {
+        let p99 = self.queues[shard].queue_wait_p99();
+        let gate = &self.shedding[shard];
+        if gate.load(Ordering::Relaxed) {
+            if p99 <= self.slo_ns.saturating_mul(SLO_EXIT_PERCENT) / 100 {
+                gate.store(false, Ordering::Relaxed);
+                return false;
+            }
+            true
+        } else {
+            if p99 > self.slo_ns {
+                gate.store(true, Ordering::Relaxed);
+                return true;
+            }
+            false
+        }
+    }
+
+    /// Whether shard `shard`'s SLO gate is currently shedding.
+    pub fn is_shedding(&self, shard: usize) -> bool {
+        self.shedding[shard].load(Ordering::Relaxed)
     }
 
     /// Stop admitting everywhere; executors drain their backlogs and exit.
@@ -82,13 +180,16 @@ mod tests {
     }
 
     #[test]
-    fn shed_returns_the_request_to_the_caller() {
+    fn shed_returns_the_request_and_cause_to_the_caller() {
         let router = Router::new(1, 2);
         let reply = Arc::new(ReplyCell::new());
         assert!(router.submit(Request::Get(0), &reply, 1).is_ok());
         assert!(router.submit(Request::Get(1), &reply, 2).is_ok());
         match router.submit(Request::Add(2, 5), &reply, 3) {
-            Err(req) => assert_eq!(req, Request::Add(2, 5)),
+            Err((req, cause)) => {
+                assert_eq!(req, Request::Add(2, 5));
+                assert_eq!(cause, ShedCause::Capacity);
+            }
             Ok(_) => panic!("full ring must shed"),
         }
     }
@@ -114,5 +215,56 @@ mod tests {
         let q = router.queue(3); // 7 % 4
         q.close();
         assert!(q.pop().is_some(), "rmw must land on its first key's shard");
+    }
+
+    #[test]
+    fn slo_gate_sheds_above_slo_and_recovers_with_hysteresis() {
+        // Drive the estimator by hand: record queue waits far above the
+        // SLO, roll the window, and watch the gate close; then let an
+        // empty window decay the estimate and watch it reopen.
+        let router = Router::new(1, 64).with_slo_us(100); // SLO = 100µs
+        let reply = Arc::new(ReplyCell::new());
+        let q = router.queue(0);
+        assert!(
+            router.submit(Request::Get(0), &reply, 1).is_ok(),
+            "fresh estimator admits"
+        );
+        // 1ms queue waits ≫ 100µs SLO; sleep past the 5ms window so the
+        // next estimator touch rotates and publishes the p99.
+        for _ in 0..100 {
+            q.record_queue_wait(1_000_000);
+        }
+        std::thread::sleep(std::time::Duration::from_millis(6));
+        q.record_queue_wait(1_000_000); // triggers the rotation
+        match router.submit(Request::Get(0), &reply, 2) {
+            Err((_, cause)) => assert_eq!(cause, ShedCause::Slo, "gate must close"),
+            Ok(_) => panic!("p99 above SLO must shed"),
+        }
+        assert!(router.is_shedding(0));
+        // While shedding, nothing is enqueued, so the next window is
+        // empty: the estimate decays to 0 and the gate reopens (the
+        // drought-recovery property that prevents shed-forever lockup).
+        std::thread::sleep(std::time::Duration::from_millis(6));
+        assert!(
+            router.submit(Request::Get(0), &reply, 3).is_ok(),
+            "decayed estimate must reopen admission"
+        );
+        assert!(!router.is_shedding(0));
+    }
+
+    #[test]
+    fn slo_disabled_never_consults_the_gate() {
+        let router = Router::new(1, 4); // no with_slo_us
+        let reply = Arc::new(ReplyCell::new());
+        let q = router.queue(0);
+        for _ in 0..100 {
+            q.record_queue_wait(u64::MAX / 2);
+        }
+        std::thread::sleep(std::time::Duration::from_millis(6));
+        q.record_queue_wait(u64::MAX / 2);
+        assert!(
+            router.submit(Request::Get(0), &reply, 1).is_ok(),
+            "capacity-only admission ignores the estimator"
+        );
     }
 }

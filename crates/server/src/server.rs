@@ -72,7 +72,8 @@ where
     cfg.validate();
     let mode = policy.mode(&Conflict::pair(1000.0));
     let stm = Stm::with_mode(cfg.keys as usize, cfg.shards, mode);
-    let router = Router::new(cfg.shards, cfg.queue_capacity);
+    let router = Router::new(cfg.shards, cfg.queue_capacity).with_slo_us(cfg.slo_us);
+    let queues = router.queues();
     let gen = RequestGen::from_config(cfg);
 
     // Fixed fan-out order — shard executors first, clients second — keeps a
@@ -87,11 +88,11 @@ where
     let start = Instant::now();
     std::thread::scope(|s| {
         let stm_ref = &stm;
+        let queues_ref = &queues;
         let workers: Vec<_> = worker_rngs
             .into_iter()
             .enumerate()
             .map(|(shard, rng)| {
-                let queue = router.queue(shard);
                 let policy = policy.clone();
                 let exec_cfg = ExecutorConfig {
                     shard,
@@ -99,8 +100,9 @@ where
                     work_ns: cfg.work_ns,
                     stats_interval_ns: cfg.stats_interval_ns,
                     run_start: start,
+                    steal: cfg.steal,
                 };
-                s.spawn(move || run_executor(stm_ref, policy, rng, &queue, &exec_cfg))
+                s.spawn(move || run_executor(stm_ref, policy, rng, queues_ref, &exec_cfg))
             })
             .collect();
 
@@ -310,6 +312,45 @@ mod tests {
             "shed requests must never reach the heap"
         );
         assert!(m.queue_depth_max <= 2, "depth can never exceed capacity");
+    }
+
+    #[test]
+    fn adaptive_admission_sheds_on_slo_breach_and_conserves() {
+        // One slow shard (50µs of in-transaction work per request) offered
+        // ~100k req/s open loop — 5× its service capacity — against an
+        // ample ring but a 100µs queue-wait SLO. The windowed p99 crosses
+        // the SLO within a couple of estimator windows and adaptive
+        // admission sheds *early* (slo_sheds), while every admitted
+        // request still commits exactly once.
+        let cfg = ServeConfig {
+            shards: 1,
+            clients: 2,
+            ops_per_client: 2_000,
+            keys: 64,
+            zipf_s: 0.0,
+            read_fraction: 0.0,
+            rmw_fraction: 0.0,
+            rmw_span: 1,
+            work_ns: 50_000,
+            queue_capacity: 4096,
+            slo_us: 100,
+            mode: LoadMode::Open {
+                rate_per_client: 50_000.0,
+                window: 64,
+            },
+            seed: 17,
+            ..Default::default()
+        };
+        let r = run_server(&cfg, NoDelay::requestor_aborts());
+        let m = r.stats.merged();
+        assert!(
+            m.slo_sheds > 0,
+            "sustained 5× overload must trip the SLO gate"
+        );
+        assert!(m.slo_sheds <= m.sheds, "slo_sheds is a subset of sheds");
+        assert_eq!(m.commits + m.sheds, cfg.total_requests());
+        assert_eq!(r.state_sum, r.increments_applied);
+        assert_eq!(r.reply_faults, 0);
     }
 
     #[test]

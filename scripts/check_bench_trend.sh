@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Compare the freshly produced BENCH_serve.json against the committed
+# baseline and warn on a >15% ops/s regression (see the trend_check bin
+# for the comparison rule). Run after `serve --quick` from the repo root:
+#
+#   ./scripts/check_bench_trend.sh [--strict] [--threshold N]
+#
+# The committed baseline is taken from HEAD, so run this *before*
+# committing a regenerated BENCH_serve.json.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+prev=$(mktemp)
+trap 'rm -f "$prev"' EXIT
+if ! git show HEAD:BENCH_serve.json > "$prev" 2>/dev/null; then
+    echo "check_bench_trend: no committed BENCH_serve.json baseline; skipping"
+    exit 0
+fi
+cargo run -q --release -p tcp-bench --bin trend_check -- \
+    --prev "$prev" --cur BENCH_serve.json "$@"

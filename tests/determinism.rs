@@ -95,10 +95,14 @@ fn stm_same_seed_identical_stats() {
 
 /// The KV server runs real shard and client threads, so wall-clock fields
 /// (latency histogram, wait cycles) vary between runs — but the *logical*
-/// counters must not. With shard-partitioned keys and no cross-shard RMWs
+/// counters must not. This is the **steal-disabled exact-stats variant**:
+/// with stealing off, shard-partitioned keys, and no cross-shard RMWs
 /// there is no contention at all: same seed ⇒ identical commits, aborts
 /// (= 0), sheds (= 0, capacity ≥ clients bounds the closed loop), and —
 /// because all writes are commutative increments — the exact final heap.
+/// (With stealing on, abort counts become timing-dependent — two
+/// executors can race on a hot ring's keys — which is why the steal-on
+/// tests below assert only placement-independent quantities.)
 #[test]
 fn server_same_seed_identical_logical_stats() {
     let run = |seed: u64| {
@@ -114,6 +118,7 @@ fn server_same_seed_identical_logical_stats() {
             think_ns: 0,
             work_ns: 0,
             queue_capacity: 16,
+            steal: false,
             seed,
             ..Default::default()
         };
@@ -137,10 +142,12 @@ fn server_same_seed_identical_logical_stats() {
     );
 }
 
-/// Under genuine cross-shard contention the abort counts become
-/// timing-dependent, but the *state* must stay a pure function of the
-/// seed: commutative increments make the final heap independent of
-/// interleaving, and with capacity ≥ clients no request is ever shed.
+/// Under genuine cross-shard contention — and with work stealing
+/// explicitly on, so envelopes may execute on any executor — the abort
+/// counts become timing-dependent, but the *state* must stay a pure
+/// function of the seed: commutative increments make the final heap
+/// placement-independent, and with capacity ≥ clients no request is ever
+/// shed.
 #[test]
 fn server_cross_shard_state_is_seed_deterministic() {
     let run = |seed: u64| {
@@ -156,6 +163,7 @@ fn server_cross_shard_state_is_seed_deterministic() {
             think_ns: 0,
             work_ns: 0,
             queue_capacity: 16,
+            steal: true,
             seed,
             ..Default::default()
         };
@@ -178,11 +186,13 @@ fn server_cross_shard_state_is_seed_deterministic() {
 }
 
 /// Open-loop mode adds a seeded arrival *schedule* on top of the seeded
-/// request sequence. Timing still varies between runs, but with capacity
-/// and window sized above the offered burst nothing is ever shed, so the
-/// logical outcome — admitted count, shed count, the exact final heap —
-/// must be identical across same-seed runs, and the schedule itself must
-/// diverge between different seeds.
+/// request sequence, and this variant runs with work stealing **on** (the
+/// default): envelopes may execute on any executor, yet with capacity and
+/// window sized above the offered burst nothing is ever shed, so the
+/// logical outcome — admitted count, shed count, the exact final heap
+/// checksum (commutative increments are placement-independent) — must be
+/// identical across same-seed runs, and the schedule itself must diverge
+/// between different seeds.
 #[test]
 fn server_open_loop_schedule_is_seed_deterministic() {
     let run = |seed: u64| {
@@ -198,6 +208,7 @@ fn server_open_loop_schedule_is_seed_deterministic() {
             think_ns: 0,
             work_ns: 0,
             queue_capacity: 4096,
+            steal: true,
             mode: LoadMode::Open {
                 rate_per_client: 150_000.0,
                 window: 64,
@@ -231,6 +242,57 @@ fn server_open_loop_schedule_is_seed_deterministic() {
         checksum,
         "a different seed must draw a different schedule and heap"
     );
+}
+
+/// Open-loop, steal-disabled exact-stats variant: with stealing off and
+/// no cross-shard RMWs, every shard executes exactly the requests routed
+/// to it, so even the *per-shard* commit tallies — not just the global
+/// ones — are pure functions of the seed, and nothing ever aborts.
+#[test]
+fn server_open_loop_steal_disabled_exact_stats() {
+    let run = |seed: u64| {
+        let cfg = ServeConfig {
+            shards: 2,
+            clients: 3,
+            ops_per_client: 400,
+            keys: 128,
+            zipf_s: 0.9,
+            read_fraction: 0.5,
+            rmw_fraction: 0.0,
+            rmw_span: 1,
+            think_ns: 0,
+            work_ns: 0,
+            queue_capacity: 4096,
+            steal: false,
+            mode: LoadMode::Open {
+                rate_per_client: 150_000.0,
+                window: 64,
+            },
+            seed,
+            ..Default::default()
+        };
+        let r = run_server(&cfg, NoDelay::requestor_aborts());
+        let per_shard_commits: Vec<u64> = r.stats.per_thread.iter().map(|t| t.commits).collect();
+        let m = r.stats.merged();
+        (
+            per_shard_commits,
+            m.aborts,
+            m.sheds,
+            m.steals,
+            r.state_checksum,
+        )
+    };
+    let a = run(51);
+    assert_eq!(
+        a,
+        run(51),
+        "steal-off per-shard stats must be exact across same-seed runs"
+    );
+    let (per_shard, aborts, sheds, steals, _) = a;
+    assert_eq!(per_shard.iter().sum::<u64>(), 3 * 400);
+    assert_eq!(aborts, 0, "partitioned keys without stealing cannot abort");
+    assert_eq!(sheds, 0);
+    assert_eq!(steals, 0, "stealing is disabled");
 }
 
 /// The synthetic Figure 2 testbed reports through the same EngineStats;
