@@ -34,6 +34,11 @@ fn json_row(name: &str, offered: f64, r: &ServeReport) -> Json {
         ("wall_ns", Json::from(r.wall_ns)),
         ("ops_per_sec", Json::from(r.ops_per_sec())),
         ("queue_depth_max", Json::from(m.queue_depth_max)),
+        ("clock_bumps", Json::from(r.clock_bumps)),
+        ("bumps_per_commit", Json::from(r.clock_bumps_per_commit())),
+        ("group_commits", Json::from(m.group_commits)),
+        ("coalesced_writes", Json::from(m.coalesced_writes)),
+        ("group_fallbacks", Json::from(m.group_fallbacks)),
         (
             "queue_wait_ns",
             Json::obj([
@@ -67,6 +72,10 @@ fn json_row(name: &str, offered: f64, r: &ServeReport) -> Json {
 
 fn main() {
     let quick = table::quick();
+    // `--group-commit`: run the sweep with batch-aware group commit, so
+    // the open-loop latency decomposition can be A/B'd against the
+    // committed per-tx baseline.
+    let group_commit = std::env::args().any(|a| a == "--group-commit");
     let clients = 4;
     let shards = 2;
     // Offered load points, total requests/second across the fleet. The top
@@ -82,6 +91,7 @@ fn main() {
     let base = ServeConfig {
         shards,
         clients,
+        group_commit,
         keys: 1024,
         zipf_s: 1.1,
         read_fraction: 0.5,
@@ -96,8 +106,8 @@ fn main() {
     println!(
         "# serve_load: open-loop sharded KV, {clients} clients, {shards} shards, \
          keys={}, zipf_s={}, read={}, rmw={}@{} keys, work={}ns, cap={}, batch={}, \
-         window=64, horizon={horizon_secs}s/point (latencies in ns; qw = queue wait, \
-         svc = service, p = sojourn)",
+         group_commit={group_commit}, window=64, horizon={horizon_secs}s/point \
+         (latencies in ns; qw = queue wait, svc = service, p = sojourn)",
         base.keys,
         base.zipf_s,
         base.read_fraction,
@@ -170,6 +180,7 @@ fn main() {
         ("work_ns", Json::from(base.work_ns)),
         ("queue_capacity", Json::from(base.queue_capacity)),
         ("batch_max", Json::from(base.batch_max)),
+        ("group_commit", Json::from(group_commit)),
         ("seed", Json::from(base.seed)),
     ]);
     write_report(

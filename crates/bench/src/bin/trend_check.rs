@@ -1,21 +1,30 @@
-//! Bench trend checker: compare a freshly produced `BENCH_serve.json`
-//! against the previously committed one and warn when the quick-config
-//! ops/s regressed by more than a threshold.
+//! Bench trend checker: compare freshly produced serve reports against
+//! the previously committed ones and warn when the quick-config ops/s
+//! regressed by more than a threshold.
 //!
 //! This is deliberately tiny — no serde in the vendored dependency set,
 //! and the reports are machine-written compact JSON (`tcp_bench::report`),
 //! so a key-scanning extractor is exact for the files it reads. The
 //! checker *warns* by default (a 1-core CI runner's throughput is noisy);
 //! `--strict` turns a regression into a non-zero exit for hosts with
-//! stable baselines.
+//! stable baselines (CI gates it on the `TREND_STRICT` env var through
+//! `scripts/check_bench_trend.sh`).
 //!
 //! ```text
-//! trend_check --prev <old.json> --cur <new.json> [--threshold 15] [--strict]
+//! trend_check --prev <old.json> --cur <new.json> \
+//!             [--prev-load <old_load.json> --cur-load <new_load.json>] \
+//!             [--threshold 15] [--strict]
 //! ```
 //!
-//! Comparison rule: mean of the rows' `ops_per_sec` values, only when both
-//! reports were produced with the same `quick` flag (comparing a quick run
-//! against a full run would be meaningless, and is reported as a skip).
+//! Comparison rules, each applied only when both reports of a pair were
+//! produced with the same `quick` flag (comparing a quick run against a
+//! full run would be meaningless, and is reported as a skip):
+//!
+//! * **serve** (closed loop): mean of the rows' `ops_per_sec` values;
+//! * **serve_load** (open loop): mean `ops_per_sec` over the rows at the
+//!   *highest* offered-load point only — the capacity-bound cell, the one
+//!   a serving regression actually moves (low-load cells just track the
+//!   arrival schedule).
 
 use tcp_bench::cli::Flags;
 
@@ -55,6 +64,83 @@ fn mean(xs: &[f64]) -> f64 {
     xs.iter().sum::<f64>() / xs.len() as f64
 }
 
+/// The `ops_per_sec` values of the rows at the report's highest
+/// `offered_per_sec` point. Relies on the writer emitting both keys once
+/// per row, in row order, so the flat extractions zip positionally.
+fn ops_at_peak_offered(json: &str) -> Vec<f64> {
+    let offered = extract_numbers(json, "offered_per_sec");
+    let ops = extract_numbers(json, "ops_per_sec");
+    let Some(peak) = offered.iter().copied().reduce(f64::max) else {
+        return Vec::new();
+    };
+    offered
+        .iter()
+        .zip(ops.iter())
+        .filter(|&(&o, _)| o == peak)
+        .map(|(_, &v)| v)
+        .collect()
+}
+
+/// Compare one baseline/current pair on the values `select` extracts.
+/// Returns `true` when a regression beyond `threshold`% was detected.
+fn compare(
+    label: &str,
+    prev_path: &str,
+    cur_path: &str,
+    threshold: f64,
+    select: impl Fn(&str) -> Vec<f64>,
+) -> bool {
+    let prev = match std::fs::read_to_string(prev_path) {
+        Ok(s) => s,
+        Err(e) => {
+            // No baseline (first run, shallow checkout): nothing to
+            // compare, and that is not an error.
+            println!("trend_check[{label}]: no baseline at {prev_path} ({e}); skipping");
+            return false;
+        }
+    };
+    let cur = match std::fs::read_to_string(cur_path) {
+        Ok(s) => s,
+        Err(e) => {
+            println!("trend_check[{label}]: cannot read {cur_path} ({e}); skipping");
+            return false;
+        }
+    };
+    let (pq, cq) = (extract_bool(&prev, "quick"), extract_bool(&cur, "quick"));
+    if pq != cq {
+        println!(
+            "trend_check[{label}]: config mismatch (prev quick={pq:?}, cur quick={cq:?}); skipping"
+        );
+        return false;
+    }
+    let (prev_ops, cur_ops) = (select(&prev), select(&cur));
+    if prev_ops.is_empty() || cur_ops.is_empty() {
+        println!(
+            "trend_check[{label}]: missing ops_per_sec rows (prev {}, cur {}); skipping",
+            prev_ops.len(),
+            cur_ops.len()
+        );
+        return false;
+    }
+    let (prev_mean, cur_mean) = (mean(&prev_ops), mean(&cur_ops));
+    let delta_pct = (cur_mean - prev_mean) / prev_mean * 100.0;
+    println!(
+        "trend_check[{label}]: mean ops/s {prev_mean:.0} -> {cur_mean:.0} ({delta_pct:+.1}%) \
+         over {} prev / {} cur rows",
+        prev_ops.len(),
+        cur_ops.len()
+    );
+    if delta_pct < -threshold {
+        println!(
+            "::warning::{label} throughput regressed {:.1}% (> {threshold}% threshold) \
+             vs committed baseline {prev_path}",
+            -delta_pct
+        );
+        return true;
+    }
+    false
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let flags = Flags::parse(&args).unwrap_or_else(|e| {
@@ -63,57 +149,30 @@ fn main() {
     });
     let prev_path = flags.get("prev").unwrap_or("BENCH_serve.prev.json");
     let cur_path = flags.get("cur").unwrap_or("BENCH_serve.json");
+    let prev_load = flags
+        .get("prev-load")
+        .unwrap_or("BENCH_serve_load.prev.json");
+    let cur_load = flags.get("cur-load").unwrap_or("BENCH_serve_load.json");
     let threshold: f64 = flags.num("threshold", 15.0).unwrap();
     let strict = flags.flag("strict");
 
-    let prev = match std::fs::read_to_string(prev_path) {
-        Ok(s) => s,
-        Err(e) => {
-            // No baseline (first run, shallow checkout): nothing to
-            // compare, and that is not an error.
-            println!("trend_check: no baseline at {prev_path} ({e}); skipping");
-            return;
-        }
-    };
-    let cur = std::fs::read_to_string(cur_path).unwrap_or_else(|e| {
-        eprintln!("trend_check: cannot read {cur_path}: {e}");
-        std::process::exit(2);
+    let mut regressed = compare(SERVE, prev_path, cur_path, threshold, |j| {
+        extract_numbers(j, "ops_per_sec")
     });
-
-    let (pq, cq) = (extract_bool(&prev, "quick"), extract_bool(&cur, "quick"));
-    if pq != cq {
-        println!("trend_check: config mismatch (prev quick={pq:?}, cur quick={cq:?}); skipping");
-        return;
-    }
-    let prev_ops = extract_numbers(&prev, "ops_per_sec");
-    let cur_ops = extract_numbers(&cur, "ops_per_sec");
-    if prev_ops.is_empty() || cur_ops.is_empty() {
-        println!(
-            "trend_check: missing ops_per_sec rows (prev {}, cur {}); skipping",
-            prev_ops.len(),
-            cur_ops.len()
-        );
-        return;
-    }
-    let (prev_mean, cur_mean) = (mean(&prev_ops), mean(&cur_ops));
-    let delta_pct = (cur_mean - prev_mean) / prev_mean * 100.0;
-    println!(
-        "trend_check: mean ops/s {prev_mean:.0} -> {cur_mean:.0} ({delta_pct:+.1}%) \
-         over {} prev / {} cur rows",
-        prev_ops.len(),
-        cur_ops.len()
+    regressed |= compare(
+        SERVE_LOAD,
+        prev_load,
+        cur_load,
+        threshold,
+        ops_at_peak_offered,
     );
-    if delta_pct < -threshold {
-        println!(
-            "::warning::serve throughput regressed {:.1}% (> {threshold}% threshold) \
-             vs committed BENCH_serve.json",
-            -delta_pct
-        );
-        if strict {
-            std::process::exit(1);
-        }
+    if regressed && strict {
+        std::process::exit(1);
     }
 }
+
+const SERVE: &str = "serve";
+const SERVE_LOAD: &str = "serve_load";
 
 #[cfg(test)]
 mod tests {
@@ -146,5 +205,19 @@ mod tests {
     #[test]
     fn mean_of_rows() {
         assert!((mean(&[1.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+
+    const LOAD_SAMPLE: &str = r#"{"bench":"serve_load","config":{"quick":true},"rows":[
+        {"policy":"DET","offered_per_sec":20000,"ops_per_sec":19000},
+        {"policy":"RRW","offered_per_sec":20000,"ops_per_sec":19500},
+        {"policy":"DET","offered_per_sec":120000,"ops_per_sec":90000},
+        {"policy":"RRW","offered_per_sec":120000,"ops_per_sec":100000}]}"#;
+
+    #[test]
+    fn peak_offered_selects_only_the_highest_load_point() {
+        let v = ops_at_peak_offered(LOAD_SAMPLE);
+        assert_eq!(v, vec![90000.0, 100000.0], "low-load rows must be excluded");
+        assert!((mean(&v) - 95000.0).abs() < 1e-9);
+        assert_eq!(ops_at_peak_offered("{}"), Vec::<f64>::new());
     }
 }

@@ -73,6 +73,19 @@ pub struct ServeConfig {
     /// strictly partitioned execution (exact per-shard stats
     /// determinism).
     pub steal: bool,
+    /// Adaptive steal enable: only attempt a steal when the deepest
+    /// sibling ring holds at least this many envelopes. `0` (default)
+    /// scans on every idle pass — the original behavior; a small
+    /// threshold (e.g. `2 × batch_max`) skips speculative claim traffic
+    /// when siblings are barely backlogged, recovering part of the
+    /// steal-on cost measured on small hosts.
+    pub steal_min_depth: usize,
+    /// Batch-aware group commit: executors speculate their popped batch,
+    /// partition it into write-set-disjoint groups (same-key commutative
+    /// increments fold), and publish each group under a single global
+    /// clock bump; conflicting members fall back to the per-transaction
+    /// path. Off by default (per-transaction commit).
+    pub group_commit: bool,
     /// Queue-wait SLO for adaptive admission, microseconds; `0` keeps the
     /// fixed shed-on-full-only behavior. When set, a shard sheds while its
     /// windowed p99 queue wait exceeds the SLO (with hysteresis — see
@@ -103,6 +116,8 @@ impl Default for ServeConfig {
             mode: LoadMode::Closed,
             batch_max: 16,
             steal: true,
+            steal_min_depth: 0,
+            group_commit: false,
             slo_us: 0,
             stats_interval_ns: 10_000_000,
             seed: 42,
@@ -218,6 +233,8 @@ mod tests {
         let cfg = ServeConfig::default();
         assert!(cfg.steal, "work stealing is the default serving behavior");
         assert_eq!(cfg.slo_us, 0, "adaptive admission is opt-in");
+        assert_eq!(cfg.steal_min_depth, 0, "steal gating is opt-in");
+        assert!(!cfg.group_commit, "group commit is opt-in");
     }
 
     #[test]

@@ -44,6 +44,10 @@ pub struct ServeReport {
     /// across every client. Non-zero means the response path violated the
     /// one-delivery-per-request protocol.
     pub reply_faults: u64,
+    /// Final value of the STM's global version clock = write publishes
+    /// performed. With group commit this is what shrinks: one bump per
+    /// disjoint group instead of one per writing transaction.
+    pub clock_bumps: u64,
     /// Display name of the grace policy that served the run.
     pub policy: String,
 }
@@ -55,6 +59,18 @@ impl ServeReport {
             0.0
         } else {
             self.stats.commits() as f64 / (self.wall_ns as f64 / 1e9)
+        }
+    }
+
+    /// Global-clock bumps per committed transaction — the coherence-traffic
+    /// ratio group commit exists to push below 1.0. (Read-only commits
+    /// never bump, so even per-tx commit sits at the write fraction.)
+    pub fn clock_bumps_per_commit(&self) -> f64 {
+        let commits = self.stats.commits();
+        if commits == 0 {
+            0.0
+        } else {
+            self.clock_bumps as f64 / commits as f64
         }
     }
 }
@@ -101,6 +117,8 @@ where
                     stats_interval_ns: cfg.stats_interval_ns,
                     run_start: start,
                     steal: cfg.steal,
+                    steal_min_depth: cfg.steal_min_depth,
+                    group_commit: cfg.group_commit,
                 };
                 s.spawn(move || run_executor(stm_ref, policy, rng, queues_ref, &exec_cfg))
             })
@@ -150,6 +168,7 @@ where
         state_checksum: checksum(&snapshot),
         increments_applied,
         reply_faults,
+        clock_bumps: stm.clock_value(),
         policy: policy.name(),
     }
 }
@@ -419,6 +438,50 @@ mod tests {
         assert_eq!(r.state_sum, r.increments_applied);
         assert!(m.queue_depth_max <= 4, "depth can never exceed capacity");
         assert_eq!(r.reply_faults, 0);
+    }
+
+    #[test]
+    fn group_commit_serves_and_conserves_under_contention() {
+        // Same cross-shard contended config as the conservation test, but
+        // with batch-aware group commit on: every admitted request still
+        // commits exactly once, the heap still sums to the admitted
+        // increments, and the clock never bumps more often than commits.
+        let cfg = ServeConfig {
+            group_commit: true,
+            ..small(4, 0.5, 11)
+        };
+        let r = run_server(&cfg, RandRw);
+        let m = r.stats.merged();
+        assert_eq!(m.commits + m.sheds, cfg.total_requests());
+        assert_eq!(r.state_sum, r.increments_applied);
+        assert_eq!(m.latency_hist.count(), m.commits);
+        assert_eq!(r.reply_faults, 0);
+        assert!(
+            r.clock_bumps <= m.commits,
+            "clock bumps ({}) can never exceed commits ({})",
+            r.clock_bumps,
+            m.commits
+        );
+        assert!(
+            m.group_fallbacks <= m.commits,
+            "fallbacks are a subset of commits"
+        );
+    }
+
+    #[test]
+    fn steal_min_depth_gates_stealing_without_losing_work() {
+        // A high threshold keeps executors from stealing shallow backlogs
+        // but must never strand envelopes: the run still completes with
+        // every request accounted for.
+        let cfg = ServeConfig {
+            steal_min_depth: 1_000_000,
+            ..small(4, 0.2, 5)
+        };
+        let r = run_server(&cfg, NoDelay::requestor_aborts());
+        let m = r.stats.merged();
+        assert_eq!(m.commits + m.sheds, cfg.total_requests());
+        assert_eq!(m.steals, 0, "an unreachable threshold disables steals");
+        assert_eq!(r.state_sum, r.increments_applied);
     }
 
     #[test]

@@ -39,7 +39,9 @@ pub mod throughput;
 
 pub mod prelude {
     pub use crate::lockfree::{MsQueue, TreiberStack};
-    pub use crate::runtime::{Abort, Addr, Stm, Tx, TxCtx};
+    pub use crate::runtime::{
+        Abort, Addr, GroupCommit, MemberOutcome, PreparedTx, Stm, Tx, TxCtx, WriteEntry, WriteOp,
+    };
     pub use crate::structures::{TMap, TQueue, TStack};
     pub use crate::throughput::{
         lockfree_stack_throughput, stack_throughput, txapp_throughput, Throughput,

@@ -1,20 +1,34 @@
 #!/usr/bin/env bash
-# Compare the freshly produced BENCH_serve.json against the committed
-# baseline and warn on a >15% ops/s regression (see the trend_check bin
-# for the comparison rule). Run after `serve --quick` from the repo root:
+# Compare the freshly produced BENCH_serve.json / BENCH_serve_load.json
+# against the committed baselines and warn on a >15% ops/s regression
+# (see the trend_check bin for the comparison rules: serve = mean over
+# all rows, serve_load = mean over the highest offered-load point). Run
+# after `serve --quick` and `serve_load --quick` from the repo root:
 #
 #   ./scripts/check_bench_trend.sh [--strict] [--threshold N]
 #
-# The committed baseline is taken from HEAD, so run this *before*
-# committing a regenerated BENCH_serve.json.
+# Setting TREND_STRICT=1 in the environment prepends --strict, so CI can
+# flip from warn-only to fail-the-build without a code change.
+#
+# The committed baselines are taken from HEAD, so run this *before*
+# committing regenerated BENCH JSONs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 prev=$(mktemp)
-trap 'rm -f "$prev"' EXIT
+prev_load=$(mktemp)
+trap 'rm -f "$prev" "$prev_load"' EXIT
 if ! git show HEAD:BENCH_serve.json > "$prev" 2>/dev/null; then
     echo "check_bench_trend: no committed BENCH_serve.json baseline; skipping"
     exit 0
 fi
+# The serve_load baseline is optional: trend_check skips a pair whose
+# baseline file is missing/empty.
+git show HEAD:BENCH_serve_load.json > "$prev_load" 2>/dev/null || rm -f "$prev_load"
+
+if [ "${TREND_STRICT:-0}" = "1" ]; then
+    set -- --strict "$@"
+fi
 cargo run -q --release -p tcp-bench --bin trend_check -- \
-    --prev "$prev" --cur BENCH_serve.json "$@"
+    --prev "$prev" --cur BENCH_serve.json \
+    --prev-load "$prev_load" --cur-load BENCH_serve_load.json "$@"

@@ -142,6 +142,107 @@ fn server_same_seed_identical_logical_stats() {
     );
 }
 
+/// Group-commit variant of the steal-disabled exact-stats test: batching
+/// transactions into one clock bump must not change a single logical
+/// counter *or* the heap. With stealing off, partitioned keys, and no
+/// cross-shard RMWs, every popped batch folds into one conflict-free
+/// group, so commits/aborts/sheds stay exact — and because grouping only
+/// reorders commutative increments, the final checksum must equal the
+/// grouping-OFF run of the same seed (observable state is independent of
+/// commit grouping).
+#[test]
+fn server_steal_disabled_exact_stats_group_commit_both_modes() {
+    let run = |seed: u64, group_commit: bool| {
+        let cfg = ServeConfig {
+            shards: 2,
+            clients: 3,
+            ops_per_client: 400,
+            keys: 128,
+            zipf_s: 0.9,
+            read_fraction: 0.5,
+            rmw_fraction: 0.0,
+            rmw_span: 2,
+            think_ns: 0,
+            work_ns: 0,
+            queue_capacity: 16,
+            steal: false,
+            group_commit,
+            seed,
+            ..Default::default()
+        };
+        let r = run_server(&cfg, NoDelay::requestor_aborts());
+        let m = r.stats.merged();
+        (m.commits, m.aborts, m.sheds, r.state_sum, r.state_checksum)
+    };
+    let grouped = run(21, true);
+    assert_eq!(
+        grouped,
+        run(21, true),
+        "same seed must reproduce every logical counter with grouping on"
+    );
+    let (commits, aborts, sheds, _, checksum) = grouped;
+    assert_eq!(commits, 3 * 400, "every issued request must commit");
+    assert_eq!(aborts, 0, "partitioned keys cannot conflict");
+    assert_eq!(sheds, 0);
+    assert_eq!(
+        run(21, false).4,
+        checksum,
+        "the heap must be identical with grouping on and off"
+    );
+}
+
+/// Open-loop, steal-disabled, group-commit-ON exact-stats variant: even
+/// the per-shard commit tallies stay pure functions of the seed when
+/// batches commit as groups, and nothing ever aborts or falls back
+/// (partitioned keys make every group conflict-free).
+#[test]
+fn server_open_loop_steal_disabled_exact_stats_group_commit_on() {
+    let run = |seed: u64| {
+        let cfg = ServeConfig {
+            shards: 2,
+            clients: 3,
+            ops_per_client: 400,
+            keys: 128,
+            zipf_s: 0.9,
+            read_fraction: 0.5,
+            rmw_fraction: 0.0,
+            rmw_span: 1,
+            think_ns: 0,
+            work_ns: 0,
+            queue_capacity: 4096,
+            steal: false,
+            group_commit: true,
+            mode: LoadMode::Open {
+                rate_per_client: 150_000.0,
+                window: 64,
+            },
+            seed,
+            ..Default::default()
+        };
+        let r = run_server(&cfg, NoDelay::requestor_aborts());
+        let per_shard_commits: Vec<u64> = r.stats.per_thread.iter().map(|t| t.commits).collect();
+        let m = r.stats.merged();
+        (
+            per_shard_commits,
+            m.aborts,
+            m.sheds,
+            m.group_fallbacks,
+            r.state_checksum,
+        )
+    };
+    let a = run(51);
+    assert_eq!(
+        a,
+        run(51),
+        "steal-off per-shard stats must be exact across same-seed runs"
+    );
+    let (per_shard, aborts, sheds, fallbacks, _) = a;
+    assert_eq!(per_shard.iter().sum::<u64>(), 3 * 400);
+    assert_eq!(aborts, 0, "partitioned keys without stealing cannot abort");
+    assert_eq!(sheds, 0);
+    assert_eq!(fallbacks, 0, "conflict-free groups never fall back");
+}
+
 /// Under genuine cross-shard contention — and with work stealing
 /// explicitly on, so envelopes may execute on any executor — the abort
 /// counts become timing-dependent, but the *state* must stay a pure
