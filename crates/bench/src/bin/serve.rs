@@ -19,8 +19,20 @@
 //! ring-vs-mutex comparison), counter-verified via the STM's clock —
 //! `bumps_per_commit_group_on` is the "clock bumps per committed tx"
 //! number, which must sit below 1.0 under batching.
+//!
+//! Workload-shape flags: `--read-fraction <f>` overrides the base mix;
+//! `--read-heavy` applies the 90/10-with-scans preset (`read=0.9`,
+//! `rmw=0.05`, `scan=0.1@16` keys). Independently of those, the report
+//! always carries a `read_heavy` row section (the preset swept under
+//! NO_DELAY, what `trend_check` tracks) and a `snapshot_ab` section: an
+//! interleaved snapshot-on/off A/B on the read-heavy mix whose arms must
+//! agree on the final heap checksum, with the snapshot arm
+//! counter-verified to take zero read-side aborts — plus a pure-read run
+//! asserting the fast path never consults the conflict arbiter.
 
 use std::sync::Arc;
+
+use tcp_bench::cli::Flags;
 
 use tcp_bench::report::{bench_report, write_report, Json};
 use tcp_bench::table;
@@ -47,6 +59,11 @@ fn json_row(name: &str, shards: usize, r: &ServeReport) -> Json {
         ("group_commits", Json::from(m.group_commits)),
         ("coalesced_writes", Json::from(m.coalesced_writes)),
         ("group_fallbacks", Json::from(m.group_fallbacks)),
+        ("snapshot_reads", Json::from(m.snapshot_reads)),
+        ("snapshot_restarts", Json::from(m.snapshot_restarts)),
+        ("chain_misses", Json::from(m.chain_misses)),
+        ("read_aborts", Json::from(m.read_aborts)),
+        ("arbiter_consults", Json::from(m.arbiter_consults)),
         (
             "queue_wait_ns",
             Json::obj([
@@ -148,13 +165,134 @@ fn group_commit_ab(base: &ServeConfig, shards: usize, rounds: u64) -> Json {
     ])
 }
 
+/// The 90/10-with-scans preset of the `--read-heavy` flag: 90% of non-RMW
+/// draws read, 10% of them as multi-key scans, and RMWs trimmed to 5% —
+/// the mix where the MVCC snapshot read path carries most of the load.
+fn read_heavy_preset(base: &ServeConfig) -> ServeConfig {
+    ServeConfig {
+        read_fraction: 0.9,
+        rmw_fraction: 0.05,
+        scan_fraction: 0.1,
+        scan_span: 16,
+        ..base.clone()
+    }
+}
+
+/// Interleaved snapshot-read A/B on the read-heavy mix under NO_DELAY:
+/// alternate validated/snapshot rounds on one config (seed varies per
+/// round, shared within a round). Every round must end on the same heap
+/// checksum in both read modes, and the snapshot arm is counter-verified:
+/// its reads ride the MVCC fast path (`snapshot_reads > 0`) and never
+/// abort (`read_aborts == 0`). A final pure-read run (no writers at all)
+/// additionally asserts zero aborts and zero arbiter consultations — the
+/// practical-wait-freedom claim of the read path, checked, not assumed.
+fn snapshot_ab(base: &ServeConfig, shards: usize, rounds: u64) -> Json {
+    let read_heavy = read_heavy_preset(base);
+    let mut ops = [Vec::new(), Vec::new()]; // [validated, snapshot]
+    let (mut snapshot_reads, mut restarts, mut misses) = (0u64, 0u64, 0u64);
+    for round in 0..rounds {
+        let mut checksums = [0u64; 2];
+        for (arm, on) in [(0usize, false), (1usize, true)] {
+            let cfg = ServeConfig {
+                shards,
+                snapshot_reads: on,
+                seed: read_heavy.seed + round,
+                ..read_heavy.clone()
+            };
+            let r = run_server(&cfg, NoDelay::requestor_wins());
+            let m = r.stats.merged();
+            assert_eq!(m.commits + m.sheds, cfg.total_requests());
+            assert_eq!(r.reply_faults, 0, "misdelivered replies in snapshot A/B");
+            if on {
+                assert!(
+                    m.snapshot_reads > 0,
+                    "snapshot arm never took the fast path"
+                );
+                assert_eq!(m.read_aborts, 0, "snapshot reads must never abort");
+            } else {
+                assert_eq!(
+                    m.snapshot_reads, 0,
+                    "validated arm leaked onto the fast path"
+                );
+            }
+            ops[arm].push(r.ops_per_sec());
+            checksums[arm] = r.state_checksum;
+            if on {
+                snapshot_reads += m.snapshot_reads;
+                restarts += m.snapshot_restarts;
+                misses += m.chain_misses;
+            }
+        }
+        assert_eq!(
+            checksums[0], checksums[1],
+            "read mode must not change the final heap (round {round})"
+        );
+    }
+    // Pure-read run: with every request read-only, the snapshot path must
+    // be wait-free in practice — no aborts, no arbiter, no heap writes.
+    let pure = ServeConfig {
+        shards,
+        snapshot_reads: true,
+        read_fraction: 1.0,
+        rmw_fraction: 0.0,
+        ..read_heavy.clone()
+    };
+    let pr = run_server(&pure, NoDelay::requestor_wins());
+    let pm = pr.stats.merged();
+    assert_eq!(pm.aborts, 0, "pure snapshot reads must never abort");
+    assert_eq!(
+        pm.arbiter_consults, 0,
+        "snapshot reads must never consult the conflict arbiter"
+    );
+    assert_eq!(
+        pm.read_aborts, 0,
+        "pure snapshot reads must never read-abort"
+    );
+    assert_eq!(
+        pr.state_sum, 0,
+        "read-only requests must not write the heap"
+    );
+    let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+    Json::obj([
+        ("policy", Json::from("NO_DELAY")),
+        ("shards", Json::from(shards)),
+        ("rounds", Json::from(rounds)),
+        ("interleaved", Json::from(true)),
+        ("ops_per_sec_snapshot_off", Json::from(mean(&ops[0]))),
+        ("ops_per_sec_snapshot_on", Json::from(mean(&ops[1]))),
+        ("snapshot_reads", Json::from(snapshot_reads)),
+        ("snapshot_restarts", Json::from(restarts)),
+        ("chain_misses", Json::from(misses)),
+        ("read_aborts", Json::from(0u64)),
+        ("pure_read_ops_per_sec", Json::from(pr.ops_per_sec())),
+        ("pure_read_aborts", Json::from(pm.aborts)),
+        (
+            "pure_read_arbiter_consults",
+            Json::from(pm.arbiter_consults),
+        ),
+        ("checksums_agree", Json::from(true)),
+    ])
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flags = Flags::parse(&args).unwrap_or_else(|e| {
+        eprintln!("serve: {e}");
+        std::process::exit(2);
+    });
     let quick = table::quick();
-    let group_commit = std::env::args().any(|a| a == "--group-commit");
+    let group_commit = flags.flag("group-commit");
+    let read_heavy = flags.flag("read-heavy");
+    let read_fraction_override: Option<f64> = flags.get("read-fraction").map(|v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("serve: --read-fraction: cannot parse '{v}'");
+            std::process::exit(2);
+        })
+    });
     let ops_per_client = if quick { 1_500 } else { 15_000 };
     let shard_counts: &[usize] = if quick { &[2, 4] } else { &[2, 4, 8] };
     let clients = 8;
-    let base = ServeConfig {
+    let mut base = ServeConfig {
         group_commit,
         clients,
         ops_per_client,
@@ -172,6 +310,13 @@ fn main() {
         seed: 42,
         ..Default::default()
     };
+    if read_heavy {
+        base = read_heavy_preset(&base);
+    }
+    if let Some(f) = read_fraction_override {
+        base.read_fraction = f;
+    }
+    base.validate();
     println!(
         "# serve: sharded KV, {clients} closed-loop clients x {ops_per_client} ops, \
          keys={}, zipf_s={}, read={}, rmw={}@{} keys, work={}ns, cap={}, batch={}, \
@@ -236,6 +381,9 @@ fn main() {
         ("read_fraction", Json::from(base.read_fraction)),
         ("rmw_fraction", Json::from(base.rmw_fraction)),
         ("rmw_span", Json::from(base.rmw_span)),
+        ("scan_fraction", Json::from(base.scan_fraction)),
+        ("scan_span", Json::from(base.scan_span)),
+        ("snapshot_reads", Json::from(base.snapshot_reads)),
         ("think_ns", Json::from(base.think_ns)),
         ("work_ns", Json::from(base.work_ns)),
         ("queue_capacity", Json::from(base.queue_capacity)),
@@ -248,9 +396,47 @@ fn main() {
     // clock-bump ratio of both commit modes.
     let ab = group_commit_ab(&base, shard_counts[0], if quick { 3 } else { 5 });
     println!("# group_commit_ab: {}", ab.render());
+    // The read-heavy preset swept under NO_DELAY — always included so the
+    // committed report carries the row `trend_check` tracks even when the
+    // main sweep ran another mix.
+    let mut rh_rows = Vec::new();
+    for &shards in shard_counts {
+        let cfg = ServeConfig {
+            shards,
+            ..read_heavy_preset(&base)
+        };
+        let r = run_server(&cfg, NoDelay::requestor_wins());
+        let m = r.stats.merged();
+        assert_eq!(
+            m.commits + m.sheds,
+            cfg.total_requests(),
+            "lost requests in the read-heavy sweep"
+        );
+        assert_eq!(
+            r.reply_faults, 0,
+            "misdelivered replies in the read-heavy sweep"
+        );
+        println!(
+            "# read_heavy shards={shards}: {} ops/s, {} snapshot reads, {} restarts",
+            table::num(r.ops_per_sec()),
+            m.snapshot_reads,
+            m.snapshot_restarts
+        );
+        rh_rows.push(json_row("NO_DELAY", shards, &r));
+    }
+    // Interleaved snapshot-on/off A/B on the read-heavy mix at the first
+    // shard count: equal checksums per round, zero read-side aborts, zero
+    // arbiter consultations on the pure-read run — counter-asserted.
+    let snap_ab = snapshot_ab(&base, shard_counts[0], if quick { 3 } else { 5 });
+    println!("# snapshot_ab: {}", snap_ab.render());
     let mut report = bench_report("serve", config, rows);
     if let Json::Obj(pairs) = &mut report {
         pairs.push(("group_commit_ab".into(), ab));
+        pairs.push((
+            "read_heavy".into(),
+            Json::obj([("rows", Json::arr(rh_rows))]),
+        ));
+        pairs.push(("snapshot_ab".into(), snap_ab));
     }
     write_report("BENCH_serve.json", &report);
 }

@@ -12,10 +12,13 @@
 //! dominate sojourn and the policies separate.
 //!
 //! Arms: `NO_DELAY`, `DET`, `RRW` (as in `serve`). Output: TSV +
-//! `BENCH_serve_load.json`.
+//! `BENCH_serve_load.json`. Workload-shape flags match `serve`:
+//! `--read-fraction <f>` overrides the base mix, `--read-heavy` applies
+//! the 90/10-with-scans preset.
 
 use std::sync::Arc;
 
+use tcp_bench::cli::Flags;
 use tcp_bench::report::{bench_report, write_report, Json};
 use tcp_bench::table;
 use tcp_core::policy::{DetRw, GracePolicy, NoDelay};
@@ -39,6 +42,10 @@ fn json_row(name: &str, offered: f64, r: &ServeReport) -> Json {
         ("group_commits", Json::from(m.group_commits)),
         ("coalesced_writes", Json::from(m.coalesced_writes)),
         ("group_fallbacks", Json::from(m.group_fallbacks)),
+        ("snapshot_reads", Json::from(m.snapshot_reads)),
+        ("snapshot_restarts", Json::from(m.snapshot_restarts)),
+        ("chain_misses", Json::from(m.chain_misses)),
+        ("read_aborts", Json::from(m.read_aborts)),
         (
             "queue_wait_ns",
             Json::obj([
@@ -71,11 +78,16 @@ fn json_row(name: &str, offered: f64, r: &ServeReport) -> Json {
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flags = Flags::parse(&args).unwrap_or_else(|e| {
+        eprintln!("serve_load: {e}");
+        std::process::exit(2);
+    });
     let quick = table::quick();
     // `--group-commit`: run the sweep with batch-aware group commit, so
     // the open-loop latency decomposition can be A/B'd against the
     // committed per-tx baseline.
-    let group_commit = std::env::args().any(|a| a == "--group-commit");
+    let group_commit = flags.flag("group-commit");
     let clients = 4;
     let shards = 2;
     // Offered load points, total requests/second across the fleet. The top
@@ -88,7 +100,7 @@ fn main() {
         &[20_000.0, 40_000.0, 80_000.0, 120_000.0, 160_000.0]
     };
     let horizon_secs = if quick { 0.15 } else { 0.5 };
-    let base = ServeConfig {
+    let mut base = ServeConfig {
         shards,
         clients,
         group_commit,
@@ -103,6 +115,20 @@ fn main() {
         seed: 42,
         ..Default::default()
     };
+    if flags.flag("read-heavy") {
+        // The same 90/10-with-scans preset as `serve --read-heavy`.
+        base.read_fraction = 0.9;
+        base.rmw_fraction = 0.05;
+        base.scan_fraction = 0.1;
+        base.scan_span = 16;
+    }
+    if let Some(v) = flags.get("read-fraction") {
+        base.read_fraction = v.parse().unwrap_or_else(|_| {
+            eprintln!("serve_load: --read-fraction: cannot parse '{v}'");
+            std::process::exit(2);
+        });
+    }
+    base.validate();
     println!(
         "# serve_load: open-loop sharded KV, {clients} clients, {shards} shards, \
          keys={}, zipf_s={}, read={}, rmw={}@{} keys, work={}ns, cap={}, batch={}, \
@@ -177,6 +203,9 @@ fn main() {
         ("read_fraction", Json::from(base.read_fraction)),
         ("rmw_fraction", Json::from(base.rmw_fraction)),
         ("rmw_span", Json::from(base.rmw_span)),
+        ("scan_fraction", Json::from(base.scan_fraction)),
+        ("scan_span", Json::from(base.scan_span)),
+        ("snapshot_reads", Json::from(base.snapshot_reads)),
         ("work_ns", Json::from(base.work_ns)),
         ("queue_capacity", Json::from(base.queue_capacity)),
         ("batch_max", Json::from(base.batch_max)),

@@ -20,7 +20,13 @@
 //! produced with the same `quick` flag (comparing a quick run against a
 //! full run would be meaningless, and is reported as a skip):
 //!
-//! * **serve** (closed loop): mean of the rows' `ops_per_sec` values;
+//! * **serve** (closed loop): mean of the main sweep rows' `ops_per_sec`
+//!   values (the report is sliced *before* its appended `read_heavy`
+//!   section so the sections don't pollute each other's means);
+//! * **serve_read_heavy**: mean `ops_per_sec` over the report's
+//!   `read_heavy` section rows — the snapshot-read fast path's sweep.
+//!   Always warn-only (never escalated by `--strict`): the section is
+//!   newer than some baselines and its quick rows are small;
 //! * **serve_load** (open loop): mean `ops_per_sec` over the rows at the
 //!   *highest* offered-load point only — the capacity-bound cell, the one
 //!   a serving regression actually moves (low-load cells just track the
@@ -62,6 +68,29 @@ fn extract_bool(json: &str, key: &str) -> Option<bool> {
 
 fn mean(xs: &[f64]) -> f64 {
     xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// The serve report's main-sweep slice: everything before the appended
+/// `read_heavy` section (a report that predates the section is returned
+/// whole — its rows *are* the main sweep).
+fn main_sweep(json: &str) -> &str {
+    match json.find("\"read_heavy\"") {
+        Some(pos) => &json[..pos],
+        None => json,
+    }
+}
+
+/// The serve report's `read_heavy` section slice; empty when the report
+/// predates the section (the caller then skips the comparison).
+fn read_heavy_section(json: &str) -> &str {
+    let Some(start) = json.find("\"read_heavy\"") else {
+        return "";
+    };
+    let rest = &json[start..];
+    match rest.find("\"snapshot_ab\"") {
+        Some(end) => &rest[..end],
+        None => rest,
+    }
 }
 
 /// The `ops_per_sec` values of the rows at the report's highest
@@ -157,7 +186,13 @@ fn main() {
     let strict = flags.flag("strict");
 
     let mut regressed = compare(SERVE, prev_path, cur_path, threshold, |j| {
-        extract_numbers(j, "ops_per_sec")
+        extract_numbers(main_sweep(j), "ops_per_sec")
+    });
+    // Read-heavy section: warn-only — a regression here prints the
+    // ::warning annotation but never fails the run, even under --strict
+    // (older baselines lack the section entirely; compare() skips those).
+    compare(SERVE_READ_HEAVY, prev_path, cur_path, threshold, |j| {
+        extract_numbers(read_heavy_section(j), "ops_per_sec")
     });
     regressed |= compare(
         SERVE_LOAD,
@@ -172,6 +207,7 @@ fn main() {
 }
 
 const SERVE: &str = "serve";
+const SERVE_READ_HEAVY: &str = "serve_read_heavy";
 const SERVE_LOAD: &str = "serve_load";
 
 #[cfg(test)]
@@ -212,6 +248,32 @@ mod tests {
         {"policy":"RRW","offered_per_sec":20000,"ops_per_sec":19500},
         {"policy":"DET","offered_per_sec":120000,"ops_per_sec":90000},
         {"policy":"RRW","offered_per_sec":120000,"ops_per_sec":100000}]}"#;
+
+    const SECTIONED: &str = r#"{"bench":"serve","config":{"quick":true},"rows":[{"ops_per_sec":100},{"ops_per_sec":200}],"group_commit_ab":{"ops_per_sec_group_off":5,"ops_per_sec_group_on":6},"read_heavy":{"rows":[{"ops_per_sec":900},{"ops_per_sec":1100}]},"snapshot_ab":{"ops_per_sec_snapshot_off":7,"ops_per_sec_snapshot_on":8,"pure_read_ops_per_sec":9}}"#;
+
+    #[test]
+    fn section_slicing_keeps_sweeps_apart() {
+        assert_eq!(
+            extract_numbers(main_sweep(SECTIONED), "ops_per_sec"),
+            vec![100.0, 200.0],
+            "main sweep must exclude read_heavy rows"
+        );
+        assert_eq!(
+            extract_numbers(read_heavy_section(SECTIONED), "ops_per_sec"),
+            vec![900.0, 1100.0],
+            "read_heavy compare must see only its own rows"
+        );
+        // A baseline that predates the sections: whole file is the main
+        // sweep, read_heavy compare sees nothing and is skipped.
+        assert_eq!(
+            extract_numbers(main_sweep(SAMPLE), "ops_per_sec"),
+            vec![1000.5, 2000.0]
+        );
+        assert_eq!(
+            extract_numbers(read_heavy_section(SAMPLE), "ops_per_sec"),
+            Vec::<f64>::new()
+        );
+    }
 
     #[test]
     fn peak_offered_selects_only_the_highest_load_point() {

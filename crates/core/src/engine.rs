@@ -113,6 +113,23 @@ pub struct EngineStats {
     /// the per-transaction commit (speculation aborted, a foreign lock was
     /// met, or validation failed inside the group).
     pub group_fallbacks: u64,
+    /// Read-only transactions served by the MVCC snapshot path (one per
+    /// completed snapshot txn; also counted in `commits`).
+    pub snapshot_reads: u64,
+    /// Snapshot transactions restarted because a chain miss forced a
+    /// fresh clock sample (restart ≠ abort: no work is discarded beyond
+    /// the partial read set, and no arbiter is consulted).
+    pub snapshot_restarts: u64,
+    /// Snapshot reads that found every retained version of a word newer
+    /// than the sampled clock (the per-cell cause of `snapshot_restarts`).
+    pub chain_misses: u64,
+    /// Grace-policy consultations: times a transaction met a foreign
+    /// lock and asked the [`ConflictArbiter`] for a grace decision. The
+    /// snapshot read path must keep this at zero.
+    pub arbiter_consults: u64,
+    /// Aborts incurred while serving *read-only* requests on the
+    /// validated (non-snapshot) read path — the waste MVCC removes.
+    pub read_aborts: u64,
     /// Times this shard's executor found no work anywhere — own ring and
     /// every sibling ring empty — and parked briefly before rescanning.
     pub idle_parks: u64,
@@ -187,6 +204,11 @@ impl EngineStats {
         self.group_commits += other.group_commits;
         self.coalesced_writes += other.coalesced_writes;
         self.group_fallbacks += other.group_fallbacks;
+        self.snapshot_reads += other.snapshot_reads;
+        self.snapshot_restarts += other.snapshot_restarts;
+        self.chain_misses += other.chain_misses;
+        self.arbiter_consults += other.arbiter_consults;
+        self.read_aborts += other.read_aborts;
         self.idle_parks += other.idle_parks;
         self.queue_depth_max = self.queue_depth_max.max(other.queue_depth_max);
         self.cycles = self.cycles.max(other.cycles);
@@ -493,6 +515,35 @@ impl ShardedStats {
     /// commit, summed across shards.
     pub fn group_fallbacks(&self) -> u64 {
         self.per_thread.iter().map(|c| c.group_fallbacks).sum()
+    }
+
+    /// Read-only transactions served by the MVCC snapshot path, summed
+    /// across shards.
+    pub fn snapshot_reads(&self) -> u64 {
+        self.per_thread.iter().map(|c| c.snapshot_reads).sum()
+    }
+
+    /// Snapshot-transaction restarts (chain miss → fresh clock sample),
+    /// summed across shards.
+    pub fn snapshot_restarts(&self) -> u64 {
+        self.per_thread.iter().map(|c| c.snapshot_restarts).sum()
+    }
+
+    /// Per-cell chain misses behind those restarts, summed across shards.
+    pub fn chain_misses(&self) -> u64 {
+        self.per_thread.iter().map(|c| c.chain_misses).sum()
+    }
+
+    /// Grace-policy consultations (foreign-lock encounters), summed
+    /// across shards. Zero on the snapshot read path by construction.
+    pub fn arbiter_consults(&self) -> u64 {
+        self.per_thread.iter().map(|c| c.arbiter_consults).sum()
+    }
+
+    /// Aborts charged to read-only requests on the validated read path,
+    /// summed across shards.
+    pub fn read_aborts(&self) -> u64 {
+        self.per_thread.iter().map(|c| c.read_aborts).sum()
     }
 
     pub fn throughput(&self) -> f64 {
@@ -1072,6 +1123,50 @@ mod tests {
         assert_eq!(sh.slo_sheds(), 5);
         assert_eq!(sh.merged().steals, 7);
         assert_eq!(sh.merged().slo_sheds, 5);
+    }
+
+    #[test]
+    fn snapshot_counters_merge_as_sums() {
+        let mut a = EngineStats {
+            snapshot_reads: 5,
+            snapshot_restarts: 1,
+            chain_misses: 2,
+            arbiter_consults: 7,
+            read_aborts: 3,
+            ..Default::default()
+        };
+        let b = EngineStats {
+            snapshot_reads: 4,
+            snapshot_restarts: 2,
+            chain_misses: 1,
+            arbiter_consults: 1,
+            read_aborts: 1,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(
+            (
+                a.snapshot_reads,
+                a.snapshot_restarts,
+                a.chain_misses,
+                a.arbiter_consults,
+                a.read_aborts
+            ),
+            (9, 3, 3, 8, 4)
+        );
+        let mut sh = ShardedStats::new(2);
+        sh.per_thread[0].snapshot_reads = 6;
+        sh.per_thread[1].snapshot_reads = 2;
+        sh.per_thread[0].arbiter_consults = 3;
+        sh.per_thread[1].read_aborts = 5;
+        sh.per_thread[1].snapshot_restarts = 1;
+        sh.per_thread[0].chain_misses = 4;
+        assert_eq!(sh.snapshot_reads(), 8);
+        assert_eq!(sh.arbiter_consults(), 3);
+        assert_eq!(sh.read_aborts(), 5);
+        assert_eq!(sh.snapshot_restarts(), 1);
+        assert_eq!(sh.chain_misses(), 4);
+        assert_eq!(sh.merged().snapshot_reads, 8);
     }
 
     #[test]

@@ -59,23 +59,31 @@ impl KeyPicker {
     }
 }
 
-/// Draws the request mix: `rmw_fraction` multi-key RMWs, the rest split
-/// `read_fraction` reads / `1 − read_fraction` commutative increments.
+/// Draws the request mix: `rmw_fraction` multi-key RMWs; of the rest,
+/// `scan_fraction` multi-key read-only scans (`GetRange`/`GetMany`,
+/// 50/50), then a `read_fraction` read / `1 − read_fraction` commutative
+/// increment split.
 #[derive(Clone)]
 pub struct RequestGen {
     picker: KeyPicker,
+    keys: u64,
     read_fraction: f64,
     rmw_fraction: f64,
     rmw_span: usize,
+    scan_fraction: f64,
+    scan_span: usize,
 }
 
 impl RequestGen {
     pub fn from_config(cfg: &ServeConfig) -> Self {
         Self {
             picker: KeyPicker::from_config(cfg),
+            keys: cfg.keys,
             read_fraction: cfg.read_fraction,
             rmw_fraction: cfg.rmw_fraction,
             rmw_span: cfg.rmw_span,
+            scan_fraction: cfg.scan_fraction,
+            scan_span: cfg.scan_span,
         }
     }
 
@@ -85,6 +93,22 @@ impl RequestGen {
         if uniform01(rng) < self.rmw_fraction {
             let keys: Vec<Key> = (0..self.rmw_span).map(|_| self.picker.draw(rng)).collect();
             Request::Rmw { keys, delta: 1 }
+        } else if uniform01(rng) < self.scan_fraction {
+            // Alternate range scans and arbitrary key sets 50/50; the range
+            // start is clamped so the span never runs off the key space.
+            if uniform01(rng) < 0.5 {
+                let start = self
+                    .picker
+                    .draw(rng)
+                    .min(self.keys.saturating_sub(self.scan_span as u64));
+                Request::GetRange {
+                    start,
+                    len: self.scan_span as u64,
+                }
+            } else {
+                let keys: Vec<Key> = (0..self.scan_span).map(|_| self.picker.draw(rng)).collect();
+                Request::GetMany { keys }
+            }
         } else if uniform01(rng) < self.read_fraction {
             Request::Get(self.picker.draw(rng))
         } else {
@@ -372,6 +396,39 @@ mod tests {
         assert!((f(rmw) - 0.25).abs() < 0.02, "rmw {}", f(rmw));
         assert!((f(get) - 0.375).abs() < 0.02, "get {}", f(get));
         assert!((f(add) - 0.375).abs() < 0.02, "add {}", f(add));
+    }
+
+    #[test]
+    fn scan_mix_draws_both_scan_shapes_in_key_space() {
+        let gen = RequestGen::from_config(&ServeConfig {
+            keys: 64,
+            rmw_fraction: 0.0,
+            scan_fraction: 0.4,
+            scan_span: 8,
+            ..Default::default()
+        });
+        let mut rng = Xoshiro256StarStar::new(7);
+        let n = 20_000;
+        let (mut range, mut many, mut other) = (0, 0, 0);
+        for _ in 0..n {
+            match gen.draw(&mut rng) {
+                Request::GetRange { start, len } => {
+                    assert_eq!(len, 8);
+                    assert!(start + len <= 64, "range scan runs off the key space");
+                    range += 1;
+                }
+                Request::GetMany { keys } => {
+                    assert_eq!(keys.len(), 8);
+                    assert!(keys.iter().all(|&k| k < 64));
+                    many += 1;
+                }
+                _ => other += 1,
+            }
+        }
+        let f = |c: i32| c as f64 / n as f64;
+        assert!((f(range) - 0.2).abs() < 0.02, "range {}", f(range));
+        assert!((f(many) - 0.2).abs() < 0.02, "many {}", f(many));
+        assert!((f(other) - 0.6).abs() < 0.02, "other {}", f(other));
     }
 
     #[test]

@@ -46,6 +46,17 @@ pub struct ServeConfig {
     pub rmw_fraction: f64,
     /// Keys touched by one RMW transaction (may span shards).
     pub rmw_span: usize,
+    /// Fraction of non-RMW requests that are multi-key read-only scans
+    /// (`GetRange`/`GetMany`, drawn 50/50), carved out *before* the
+    /// Get/Add split. `0.0` (default) keeps the classic single-key mix.
+    pub scan_fraction: f64,
+    /// Keys covered by one scan request.
+    pub scan_span: usize,
+    /// Serve read-only requests through the MVCC snapshot fast path (no
+    /// locks, no validation, no arbiter); off routes them through the
+    /// classic validated TL2 read path. On by default — the validated
+    /// path remains as the A/B baseline.
+    pub snapshot_reads: bool,
     /// Closed-loop think time between requests, in nanoseconds (spin).
     /// Ignored in open-loop mode, where the arrival schedule paces clients.
     pub think_ns: u64,
@@ -110,6 +121,9 @@ impl Default for ServeConfig {
             read_fraction: 0.6,
             rmw_fraction: 0.1,
             rmw_span: 3,
+            scan_fraction: 0.0,
+            scan_span: 8,
+            snapshot_reads: true,
             think_ns: 500,
             work_ns: 0,
             queue_capacity: 64,
@@ -133,13 +147,19 @@ impl ServeConfig {
         assert!(self.clients >= 1, "need at least one client");
         assert!(self.keys >= self.shards as u64, "every shard needs a key");
         assert!(
-            (0.0..=1.0).contains(&self.read_fraction) && (0.0..=1.0).contains(&self.rmw_fraction),
+            (0.0..=1.0).contains(&self.read_fraction)
+                && (0.0..=1.0).contains(&self.rmw_fraction)
+                && (0.0..=1.0).contains(&self.scan_fraction),
             "fractions must lie in [0, 1]"
         );
         assert!(self.zipf_s >= 0.0, "zipf exponent must be non-negative");
         assert!(
             (1..=self.keys as usize).contains(&self.rmw_span),
             "rmw_span must be in 1..=keys"
+        );
+        assert!(
+            (1..=self.keys as usize).contains(&self.scan_span),
+            "scan_span must be in 1..=keys"
         );
         assert!(self.queue_capacity >= 1, "queue capacity must be positive");
         assert!(self.batch_max >= 1, "batch_max must be positive");
@@ -235,6 +255,28 @@ mod tests {
         assert_eq!(cfg.slo_us, 0, "adaptive admission is opt-in");
         assert_eq!(cfg.steal_min_depth, 0, "steal gating is opt-in");
         assert!(!cfg.group_commit, "group commit is opt-in");
+        assert!(cfg.snapshot_reads, "MVCC snapshot reads are the default");
+        assert_eq!(cfg.scan_fraction, 0.0, "scans are opt-in");
+    }
+
+    #[test]
+    #[should_panic(expected = "scan_span")]
+    fn zero_scan_span_rejected() {
+        ServeConfig {
+            scan_span: 0,
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "fractions")]
+    fn out_of_range_scan_fraction_rejected() {
+        ServeConfig {
+            scan_fraction: 1.5,
+            ..Default::default()
+        }
+        .validate();
     }
 
     #[test]

@@ -85,6 +85,11 @@ pub struct ExecutorConfig {
     /// clock bump (see [`GroupCommit`]); members that conflict fall back
     /// to the per-transaction path.
     pub group_commit: bool,
+    /// Serve read-only requests (`Get`/`GetRange`/`GetMany`) through the
+    /// MVCC snapshot fast path: one clock sample, version-chain reads, no
+    /// locks, no validation, no arbiter. Off routes them through the
+    /// classic validated read path.
+    pub snapshot_reads: bool,
 }
 
 /// Drain the shard's ring (`queues[cfg.shard]`) to exhaustion, executing
@@ -113,7 +118,7 @@ pub fn run_executor<P: GracePolicy>(
     // counter tally merged into the shard stats at exit.
     let mut gc = GroupCommit::new();
     let mut member_pool: Vec<PreparedTx> = Vec::new();
-    let mut pending: Vec<(Envelope, Option<(usize, RespKind)>)> = Vec::new();
+    let mut pending: Vec<(Envelope, Pending)> = Vec::new();
     let mut outcomes: Vec<MemberOutcome> = Vec::new();
     let mut member_env: Vec<usize> = Vec::new();
     let mut fallback_resps: Vec<Option<Response>> = Vec::new();
@@ -192,12 +197,21 @@ pub fn run_executor<P: GracePolicy>(
         // in both modes.)
         let mut service_start = Instant::now();
         if cfg.group_commit && n > 1 {
-            // Phase A: run every envelope speculatively, in batch order.
+            // Phase A: run every envelope speculatively, in batch order —
+            // except that under snapshot mode read-only requests are
+            // served immediately from the MVCC chains (they serialize at
+            // their clock sample, need no group membership, and must not
+            // touch the speculation/validation machinery at all).
             pending.clear();
             member_env.clear();
             fallback_resps.clear();
             let mut spec_count = 0usize;
             for env in batch.drain(..) {
+                if cfg.snapshot_reads && env.req.is_read_only() {
+                    let resp = execute_snapshot(&mut ctx, &env.req, cfg.work_ns);
+                    pending.push((env, Pending::Ready(resp)));
+                    continue;
+                }
                 if member_pool.len() == spec_count {
                     member_pool.push(PreparedTx::new());
                 }
@@ -210,15 +224,18 @@ pub fn run_executor<P: GracePolicy>(
                     Ok(kind) => {
                         member_env.push(pending.len());
                         fallback_resps.push(None);
-                        pending.push((env, Some((spec_count, kind))));
+                        pending.push((env, Pending::Member(spec_count, kind)));
                         spec_count += 1;
                     }
                     Err(a) => {
                         // A conflict mid-speculation is an ordinary abort;
                         // the envelope re-runs through the per-tx path.
                         ctx.stats.record_abort(a.into(), 0);
+                        if env.req.is_read_only() {
+                            ctx.stats.read_aborts += 1;
+                        }
                         ctx.arbiter.on_abort();
-                        pending.push((env, None));
+                        pending.push((env, Pending::Rerun));
                     }
                 }
             }
@@ -240,7 +257,11 @@ pub fn run_executor<P: GracePolicy>(
                     &mut outcomes,
                     |mi| {
                         let env = &pending[member_env[mi]].0;
+                        let before = ctx.stats.aborts;
                         fallback_resps[mi] = Some(execute(ctx, &env.req, cfg.work_ns));
+                        if env.req.is_read_only() {
+                            ctx.stats.read_aborts += ctx.stats.aborts - before;
+                        }
                     },
                 );
             }
@@ -251,20 +272,21 @@ pub fn run_executor<P: GracePolicy>(
             // ConflictArbiter governs whatever evicted them.
             for (env, spec) in pending.drain(..) {
                 let resp = match spec {
-                    Some((j, kind)) if outcomes[j] == MemberOutcome::Committed => {
+                    Pending::Ready(resp) => resp,
+                    Pending::Member(j, kind) if outcomes[j] == MemberOutcome::Committed => {
                         ctx.stats.commits += 1;
                         ctx.arbiter.on_commit();
                         finish_response(&kind, &member_pool[j])
                     }
-                    Some((j, _)) => {
+                    Pending::Member(j, _) => {
                         ctx.stats.group_fallbacks += 1;
                         fallback_resps[j]
                             .take()
                             .expect("fallback member was re-run in the hook")
                     }
-                    None => {
+                    Pending::Rerun => {
                         ctx.stats.group_fallbacks += 1;
-                        execute(&mut ctx, &env.req, cfg.work_ns)
+                        execute_request(&mut ctx, cfg, &env.req)
                     }
                 };
                 service_start =
@@ -273,7 +295,7 @@ pub fn run_executor<P: GracePolicy>(
             }
         } else {
             for env in batch.drain(..) {
-                let resp = execute(&mut ctx, &env.req, cfg.work_ns);
+                let resp = execute_request(&mut ctx, cfg, &env.req);
                 service_start =
                     record_envelope(&mut ctx.stats, &queues[source], cfg, &env, service_start);
                 // Misdeliveries are counted inside the cell and surfaced
@@ -317,6 +339,40 @@ fn record_envelope(
     done
 }
 
+/// How one batch envelope awaits its reply in group-commit mode.
+enum Pending {
+    /// Speculated as group member `usize`; the response is built from
+    /// the member's resolved writes once its group commits.
+    Member(usize, RespKind),
+    /// Already served (the MVCC snapshot fast path) — reply as-is.
+    Ready(Response),
+    /// Speculation aborted; re-run through the per-tx path at response
+    /// time.
+    Rerun,
+}
+
+/// Dispatch one request to its serving path: the MVCC snapshot reader
+/// for read-only requests when enabled, the validated transactional path
+/// otherwise. On the validated path, aborts incurred by read-only
+/// requests are additionally tallied as `read_aborts` — the waste the
+/// snapshot mode exists to remove.
+fn execute_request<P: GracePolicy>(
+    ctx: &mut TxCtx<'_, P>,
+    cfg: &ExecutorConfig,
+    req: &Request,
+) -> Response {
+    if req.is_read_only() {
+        if cfg.snapshot_reads {
+            return execute_snapshot(ctx, req, cfg.work_ns);
+        }
+        let before = ctx.stats.aborts;
+        let resp = execute(ctx, req, cfg.work_ns);
+        ctx.stats.read_aborts += ctx.stats.aborts - before;
+        return resp;
+    }
+    execute(ctx, req, cfg.work_ns)
+}
+
 /// What a speculated request still needs to produce its [`Response`]
 /// after its group commits: value-bearing responses resolve against the
 /// member's (possibly folded) write entries.
@@ -332,6 +388,9 @@ enum RespKind {
     /// where the deficit re-creates each step's intermediate value from
     /// the final one (repeated keys within one RMW fold in-transaction).
     RmwSum(Vec<(Addr, u64)>),
+    /// `GetRange`/`GetMany`: the summed response is final at speculation
+    /// time, like `Value`.
+    Done(Response),
 }
 
 /// Run one request's transaction body **speculatively** on `ctx`: the
@@ -392,6 +451,26 @@ fn speculate_request<'s, P: GracePolicy>(
                     .collect(),
             ))
         }
+        Request::GetRange { start, len } => {
+            let (start, len) = (*start as usize, *len as usize);
+            let heap = ctx.heap_len();
+            ctx.speculate_into(prep, |tx| {
+                let mut sum = 0u64;
+                for a in start.min(heap)..start.saturating_add(len).min(heap) {
+                    sum = sum.wrapping_add(tx.read(a)?);
+                }
+                spin_ns(work_ns);
+                Ok(RespKind::Done(Response::RangeSum(sum)))
+            })
+        }
+        Request::GetMany { keys } => ctx.speculate_into(prep, |tx| {
+            let mut sum = 0u64;
+            for &k in keys {
+                sum = sum.wrapping_add(tx.read(k as usize)?);
+            }
+            spin_ns(work_ns);
+            Ok(RespKind::Done(Response::ManySum(sum)))
+        }),
     }
 }
 
@@ -406,6 +485,7 @@ fn finish_response(kind: &RespKind, prep: &PreparedTx) -> Response {
         RespKind::RmwSum(steps) => Response::RmwSum(steps.iter().fold(0u64, |s, &(a, deficit)| {
             s.wrapping_add(resolved(a).wrapping_sub(deficit))
         })),
+        RespKind::Done(resp) => *resp,
     }
 }
 
@@ -452,6 +532,69 @@ pub fn execute<P: GracePolicy>(ctx: &mut TxCtx<'_, P>, req: &Request, work_ns: u
                 Ok(sum)
             }))
         }
+        Request::GetRange { start, len } => {
+            let (start, len) = (*start as usize, *len as usize);
+            let heap = ctx.heap_len();
+            Response::RangeSum(ctx.run(|tx| {
+                let mut sum = 0u64;
+                for a in start.min(heap)..start.saturating_add(len).min(heap) {
+                    sum = sum.wrapping_add(tx.read(a)?);
+                }
+                spin_ns(work_ns);
+                Ok(sum)
+            }))
+        }
+        Request::GetMany { keys } => Response::ManySum(ctx.run(|tx| {
+            let mut sum = 0u64;
+            for &k in keys {
+                sum = sum.wrapping_add(tx.read(k as usize)?);
+            }
+            spin_ns(work_ns);
+            Ok(sum)
+        })),
+    }
+}
+
+/// Execute one *read-only* request through the MVCC snapshot fast path:
+/// one clock sample, version-chain reads, zero locks, zero validation,
+/// zero [`ConflictArbiter`](tcp_core::engine::ConflictArbiter)
+/// consultations — a chain miss restarts with a fresh sample instead of
+/// aborting. Callers must dispatch only `is_read_only()` requests here.
+pub fn execute_snapshot<P: GracePolicy>(
+    ctx: &mut TxCtx<'_, P>,
+    req: &Request,
+    work_ns: u64,
+) -> Response {
+    let heap = ctx.heap_len();
+    match req {
+        Request::Get(k) => {
+            let a = *k as usize;
+            Response::Value(ctx.run_snapshot(|snap| {
+                let v = snap.read(a)?;
+                spin_ns(work_ns);
+                Ok(v)
+            }))
+        }
+        Request::GetRange { start, len } => {
+            let (start, len) = (*start as usize, *len as usize);
+            Response::RangeSum(ctx.run_snapshot(|snap| {
+                let mut sum = 0u64;
+                for a in start.min(heap)..start.saturating_add(len).min(heap) {
+                    sum = sum.wrapping_add(snap.read(a)?);
+                }
+                spin_ns(work_ns);
+                Ok(sum)
+            }))
+        }
+        Request::GetMany { keys } => Response::ManySum(ctx.run_snapshot(|snap| {
+            let mut sum = 0u64;
+            for &k in keys {
+                sum = sum.wrapping_add(snap.read(k as usize)?);
+            }
+            spin_ns(work_ns);
+            Ok(sum)
+        })),
+        other => unreachable!("snapshot path got a writing request: {other:?}"),
     }
 }
 
@@ -472,6 +615,7 @@ mod tests {
             steal,
             steal_min_depth: 0,
             group_commit: false,
+            snapshot_reads: false,
         }
     }
 
@@ -709,6 +853,129 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_executor_serves_reads_from_chains_without_arbiter() {
+        // A mixed ring: writes seed keys 0..8 with value 1 each, then
+        // scans and gets read them. Under snapshot mode every read-only
+        // request must go through the MVCC path — counted in
+        // snapshot_reads, with zero read-side aborts.
+        let stm = Stm::new(64, 1);
+        let queue = Arc::new(ShardQueue::new(32));
+        let mut cells = Vec::new();
+        let mut reqs: Vec<Request> = (0..8).map(|k| Request::Add(k, 1)).collect();
+        reqs.push(Request::GetRange { start: 0, len: 8 });
+        reqs.push(Request::GetMany {
+            keys: vec![0, 3, 7],
+        });
+        reqs.push(Request::Get(5));
+        for req in &reqs {
+            let cell = Arc::new(ReplyCell::new());
+            let gen = cell.issue();
+            queue
+                .try_push(Envelope::new(req.clone(), Arc::clone(&cell), gen))
+                .unwrap_or_else(|_| panic!("push"));
+            cells.push(cell);
+        }
+        queue.close();
+        let queues = [queue];
+        let cfg = ExecutorConfig {
+            snapshot_reads: true,
+            ..drain_config(0, false)
+        };
+        let stats = run_executor(
+            &stm,
+            NoDelay::requestor_aborts(),
+            Xoshiro256StarStar::new(9),
+            &queues,
+            &cfg,
+        );
+        assert_eq!(stats.commits, reqs.len() as u64);
+        assert_eq!(stats.snapshot_reads, 3, "all three read-only requests");
+        assert_eq!(stats.read_aborts, 0);
+        assert_eq!(stats.aborts, 0);
+        assert_eq!(cells[8].take(), Response::RangeSum(8));
+        assert_eq!(cells[9].take(), Response::ManySum(3));
+        assert_eq!(cells[10].take(), Response::Value(1));
+    }
+
+    #[test]
+    fn group_executor_snapshot_reads_bypass_speculation() {
+        // Group-commit mode with snapshot reads: read-only envelopes are
+        // served straight from the chains (never becoming group members)
+        // while the writers still group under one bump.
+        let stm = Stm::new(64, 1);
+        let queue = Arc::new(ShardQueue::new(32));
+        let mut cells = Vec::new();
+        let mut reqs: Vec<Request> = (0..6).map(|k| Request::Add(k, 2)).collect();
+        reqs.push(Request::GetRange { start: 0, len: 64 });
+        reqs.push(Request::Get(0));
+        for req in &reqs {
+            let cell = Arc::new(ReplyCell::new());
+            let gen = cell.issue();
+            queue
+                .try_push(Envelope::new(req.clone(), Arc::clone(&cell), gen))
+                .unwrap_or_else(|_| panic!("push"));
+            cells.push(cell);
+        }
+        queue.close();
+        let queues = [queue];
+        let cfg = ExecutorConfig {
+            batch_max: 16,
+            group_commit: true,
+            snapshot_reads: true,
+            ..drain_config(0, false)
+        };
+        let stats = run_executor(
+            &stm,
+            NoDelay::requestor_aborts(),
+            Xoshiro256StarStar::new(4),
+            &queues,
+            &cfg,
+        );
+        assert_eq!(stats.commits, reqs.len() as u64);
+        assert_eq!(stats.snapshot_reads, 2);
+        assert_eq!(stats.group_commits, 1, "writers still form one group");
+        assert_eq!(stats.group_fallbacks, 0);
+        assert_eq!(stats.read_aborts, 0);
+        // The snapshot reads ran before the batch's group publish (batch
+        // order) — they see the pre-batch heap.
+        assert_eq!(cells[6].take(), Response::RangeSum(0));
+        assert_eq!(cells[7].take(), Response::Value(0));
+        assert_eq!(stm.read_direct(3), 2, "writers still published");
+    }
+
+    #[test]
+    fn validated_read_path_tallies_read_aborts_separately() {
+        // With snapshot mode OFF, read-only requests travel the classic
+        // validated path; this is where read_aborts accrue. Absent any
+        // concurrent writer they must stay zero and responses correct.
+        let stm = Stm::new(16, 1);
+        stm.write_direct(2, 5);
+        stm.write_direct(3, 7);
+        let queue = Arc::new(ShardQueue::new(8));
+        let cell = Arc::new(ReplyCell::new());
+        let gen = cell.issue();
+        queue
+            .try_push(Envelope::new(
+                Request::GetRange { start: 2, len: 2 },
+                Arc::clone(&cell),
+                gen,
+            ))
+            .unwrap_or_else(|_| panic!("push"));
+        queue.close();
+        let queues = [queue];
+        let stats = run_executor(
+            &stm,
+            NoDelay::requestor_aborts(),
+            Xoshiro256StarStar::new(11),
+            &queues,
+            &drain_config(0, false),
+        );
+        assert_eq!(cell.take(), Response::RangeSum(12));
+        assert_eq!(stats.snapshot_reads, 0, "snapshot mode off");
+        assert_eq!(stats.read_aborts, 0);
+    }
+
+    #[test]
     fn executor_applies_every_request_kind() {
         let stm = Stm::new(16, 1);
         let mut ctx = TxCtx::new(
@@ -734,5 +1001,25 @@ mod tests {
         assert_eq!(execute(&mut ctx, &rmw, 0), Response::RmwSum(44));
         assert_eq!(stm.read_direct(2), 43);
         assert_eq!(stm.read_direct(3), 1);
+        // Scans: validated and snapshot paths agree, and out-of-heap
+        // spans clamp instead of panicking.
+        let range = Request::GetRange { start: 2, len: 2 };
+        assert_eq!(execute(&mut ctx, &range, 0), Response::RangeSum(44));
+        assert_eq!(
+            execute_snapshot(&mut ctx, &range, 0),
+            Response::RangeSum(44)
+        );
+        let many = Request::GetMany { keys: vec![2, 3] };
+        assert_eq!(execute(&mut ctx, &many, 0), Response::ManySum(44));
+        assert_eq!(execute_snapshot(&mut ctx, &many, 0), Response::ManySum(44));
+        let overshoot = Request::GetRange {
+            start: 14,
+            len: 100,
+        };
+        assert_eq!(execute(&mut ctx, &overshoot, 0), Response::RangeSum(0));
+        assert_eq!(
+            execute_snapshot(&mut ctx, &overshoot, 0),
+            Response::RangeSum(0)
+        );
     }
 }

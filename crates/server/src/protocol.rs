@@ -9,11 +9,23 @@
 //! * **multi-key read-modify-write transactions** ([`Request::Rmw`])
 //!   execute on the *first* key's home shard but may touch words owned by
 //!   other shards — the cross-shard conflicts whose wait/abort decisions
-//!   route through `tcp_core::engine::ConflictArbiter`.
+//!   route through `tcp_core::engine::ConflictArbiter`;
+//! * **multi-key reads** ([`Request::GetRange`], [`Request::GetMany`])
+//!   are read-only scans served from one consistent view — under MVCC
+//!   snapshot mode, entirely from the version chains, with no locks, no
+//!   validation, and no arbiter.
 //!
 //! `Add` and `Rmw` are commutative increments, so the final heap state is a
 //! pure function of the *set* of admitted requests, independent of
 //! interleaving — the property the same-seed determinism tests lean on.
+//! Read-only requests never change the heap, so adding them to a mix
+//! preserves it.
+//!
+//! Multi-key requests carry client-supplied shapes, so the router rejects
+//! malformed ones ([`Request::is_well_formed`]) at admission instead of
+//! trusting them deep in the execution path: an empty-key `Rmw` or
+//! `GetMany`, or a zero-length `GetRange`, sheds with
+//! [`ShedCause::Invalid`](crate::router::ShedCause::Invalid).
 
 /// A key: a word address in the shared STM heap.
 pub type Key = u64;
@@ -31,14 +43,24 @@ pub enum Request {
     /// every key and return the sum of the new values. Keys may span
     /// shards; the first key's shard executes it.
     Rmw { keys: Vec<Key>, delta: u64 },
+    /// Read `len` consecutive keys starting at `start` from one
+    /// consistent view and return their sum. Routed by `start`'s shard.
+    GetRange { start: Key, len: u64 },
+    /// Read an arbitrary key set from one consistent view and return its
+    /// sum. Routed by the first key's shard.
+    GetMany { keys: Vec<Key> },
 }
 
 impl Request {
-    /// The key whose home shard executes this request.
+    /// The key whose home shard executes this request. Total: malformed
+    /// multi-key requests (rejected at admission) route to key 0.
     pub fn home_key(&self) -> Key {
         match self {
             Request::Get(k) | Request::Put(k, _) | Request::Add(k, _) => *k,
-            Request::Rmw { keys, .. } => keys[0],
+            Request::GetRange { start, .. } => *start,
+            Request::Rmw { keys, .. } | Request::GetMany { keys } => {
+                keys.first().copied().unwrap_or(0)
+            }
         }
     }
 
@@ -52,9 +74,33 @@ impl Request {
     /// conservation invariant: final heap sum = Σ admitted increments).
     pub fn increments(&self) -> u64 {
         match self {
-            Request::Get(_) | Request::Put(_, _) => 0,
+            Request::Get(_)
+            | Request::Put(_, _)
+            | Request::GetRange { .. }
+            | Request::GetMany { .. } => 0,
             Request::Add(_, delta) => *delta,
             Request::Rmw { keys, delta } => keys.len() as u64 * delta,
+        }
+    }
+
+    /// Whether this request never writes the heap — the class the MVCC
+    /// snapshot fast path serves without locks, validation, or arbiter.
+    pub fn is_read_only(&self) -> bool {
+        matches!(
+            self,
+            Request::Get(_) | Request::GetRange { .. } | Request::GetMany { .. }
+        )
+    }
+
+    /// Shape validity: multi-key requests must name at least one key.
+    /// The router rejects ill-formed requests at admission
+    /// ([`ShedCause::Invalid`](crate::router::ShedCause::Invalid)) so
+    /// nothing downstream has to re-check.
+    pub fn is_well_formed(&self) -> bool {
+        match self {
+            Request::Get(_) | Request::Put(_, _) | Request::Add(_, _) => true,
+            Request::Rmw { keys, .. } | Request::GetMany { keys } => !keys.is_empty(),
+            Request::GetRange { len, .. } => *len >= 1,
         }
     }
 }
@@ -70,6 +116,10 @@ pub enum Response {
     Added(u64),
     /// The sum of the new values after an `Rmw`.
     RmwSum(u64),
+    /// The sum over a `GetRange` scan.
+    RangeSum(u64),
+    /// The sum over a `GetMany` key set.
+    ManySum(u64),
 }
 
 #[cfg(test)]
@@ -101,5 +151,45 @@ mod tests {
             delta: 2,
         };
         assert_eq!(rmw.increments(), 6);
+        assert_eq!(Request::GetRange { start: 0, len: 9 }.increments(), 0);
+        assert_eq!(Request::GetMany { keys: vec![1, 2] }.increments(), 0);
+    }
+
+    #[test]
+    fn empty_key_rmw_does_not_panic_and_is_ill_formed() {
+        // The satellite fix: home_key() used to index keys[0].
+        let rmw = Request::Rmw {
+            keys: vec![],
+            delta: 1,
+        };
+        assert_eq!(rmw.home_key(), 0);
+        assert_eq!(rmw.home_shard(4), 0);
+        assert!(!rmw.is_well_formed());
+        assert!(!Request::GetMany { keys: vec![] }.is_well_formed());
+        assert!(!Request::GetRange { start: 3, len: 0 }.is_well_formed());
+        assert!(Request::Rmw {
+            keys: vec![1],
+            delta: 1
+        }
+        .is_well_formed());
+        assert!(Request::GetRange { start: 3, len: 1 }.is_well_formed());
+        assert!(Request::Get(0).is_well_formed());
+    }
+
+    #[test]
+    fn read_only_classification_and_scan_routing() {
+        assert!(Request::Get(1).is_read_only());
+        assert!(Request::GetRange { start: 6, len: 4 }.is_read_only());
+        assert!(Request::GetMany { keys: vec![9, 1] }.is_read_only());
+        assert!(!Request::Put(1, 2).is_read_only());
+        assert!(!Request::Add(1, 2).is_read_only());
+        assert!(!Request::Rmw {
+            keys: vec![1],
+            delta: 1
+        }
+        .is_read_only());
+        // Scans route by their first key, like Rmw.
+        assert_eq!(Request::GetRange { start: 6, len: 4 }.home_shard(4), 2);
+        assert_eq!(Request::GetMany { keys: vec![9, 1] }.home_shard(4), 1);
     }
 }

@@ -46,6 +46,10 @@ pub enum ShedCause {
     /// SLO-aware adaptive admission: the shard's windowed p99 queue wait
     /// exceeded the SLO and the hysteresis gate is shedding.
     Slo,
+    /// The request was malformed ([`Request::is_well_formed`] failed —
+    /// e.g. an empty-key `Rmw`/`GetMany` or a zero-length `GetRange`) and
+    /// was rejected before routing.
+    Invalid,
 }
 
 /// Hysteresis exit threshold: a shedding shard re-admits once its p99
@@ -108,6 +112,9 @@ impl Router {
         reply: &Arc<ReplyCell>,
         gen: u64,
     ) -> Result<usize, (Request, ShedCause)> {
+        if !req.is_well_formed() {
+            return Err((req, ShedCause::Invalid));
+        }
         let shard = req.home_shard(self.queues.len());
         if self.slo_ns > 0 && self.slo_gate_sheds(shard) {
             return Err((req, ShedCause::Slo));
@@ -215,6 +222,52 @@ mod tests {
         let q = router.queue(3); // 7 % 4
         q.close();
         assert!(q.pop().is_some(), "rmw must land on its first key's shard");
+    }
+
+    #[test]
+    fn malformed_requests_shed_at_admission() {
+        let router = Router::new(4, 8);
+        let reply = Arc::new(ReplyCell::new());
+        for req in [
+            Request::Rmw {
+                keys: vec![],
+                delta: 1,
+            },
+            Request::GetMany { keys: vec![] },
+            Request::GetRange { start: 2, len: 0 },
+        ] {
+            match router.submit(req.clone(), &reply, 1) {
+                Err((returned, cause)) => {
+                    assert_eq!(returned, req, "the request comes back to the caller");
+                    assert_eq!(cause, ShedCause::Invalid);
+                }
+                Ok(_) => panic!("malformed request must not be admitted"),
+            }
+        }
+        // Nothing reached any ring.
+        for shard in 0..4 {
+            let q = router.queue(shard);
+            q.close();
+            assert!(q.pop().is_none(), "malformed request leaked onto a ring");
+        }
+    }
+
+    #[test]
+    fn scans_route_like_their_first_key() {
+        let router = Router::new(4, 8);
+        let reply = Arc::new(ReplyCell::new());
+        router
+            .submit(Request::GetRange { start: 6, len: 3 }, &reply, 1)
+            .unwrap();
+        router
+            .submit(Request::GetMany { keys: vec![9, 0] }, &reply, 2)
+            .unwrap();
+        let q = router.queue(2); // 6 % 4
+        q.close();
+        assert!(q.pop().is_some(), "range scan must land on start's shard");
+        let q = router.queue(1); // 9 % 4
+        q.close();
+        assert!(q.pop().is_some(), "get-many must land on first key's shard");
     }
 
     #[test]

@@ -119,6 +119,7 @@ where
                     steal: cfg.steal,
                     steal_min_depth: cfg.steal_min_depth,
                     group_commit: cfg.group_commit,
+                    snapshot_reads: cfg.snapshot_reads,
                 };
                 s.spawn(move || run_executor(stm_ref, policy, rng, queues_ref, &exec_cfg))
             })
@@ -466,6 +467,73 @@ mod tests {
             m.group_fallbacks <= m.commits,
             "fallbacks are a subset of commits"
         );
+    }
+
+    #[test]
+    fn snapshot_fast_path_serves_pure_reads_without_arbiter_or_aborts() {
+        // A 100% read mix with scans, under contention-friendly settings
+        // (hot Zipf head, several shards): on the snapshot path the read
+        // side must finish with ZERO arbiter consultations and ZERO
+        // aborts of any kind — the practical-wait-freedom claim of the
+        // read path, counter-asserted end to end.
+        let cfg = ServeConfig {
+            shards: 4,
+            clients: 8,
+            ops_per_client: 500,
+            keys: 128,
+            zipf_s: 1.2,
+            read_fraction: 1.0,
+            rmw_fraction: 0.0,
+            scan_fraction: 0.3,
+            scan_span: 8,
+            think_ns: 0,
+            queue_capacity: 64,
+            snapshot_reads: true,
+            seed: 23,
+            ..Default::default()
+        };
+        let r = run_server(&cfg, RandRw);
+        let m = r.stats.merged();
+        assert_eq!(m.commits + m.sheds, cfg.total_requests());
+        assert!(m.snapshot_reads > 0, "the snapshot path must actually run");
+        assert_eq!(m.arbiter_consults, 0, "snapshot reads never consult");
+        assert_eq!(m.validation_aborts, 0, "snapshot reads never validate");
+        assert_eq!(m.aborts, 0, "snapshot reads never abort");
+        assert_eq!(m.read_aborts, 0);
+        assert_eq!(r.reply_faults, 0);
+        assert_eq!(r.state_sum, 0, "a pure-read run leaves the heap zero");
+    }
+
+    #[test]
+    fn read_modes_agree_on_final_state_same_seed() {
+        // Same seed, same mix — snapshot on vs off must land the same
+        // heap: reads never change state, whichever path serves them.
+        let mix = ServeConfig {
+            scan_fraction: 0.2,
+            scan_span: 4,
+            steal: false,
+            ..small(2, 0.2, 31)
+        };
+        let on = run_server(
+            &ServeConfig {
+                snapshot_reads: true,
+                ..mix.clone()
+            },
+            NoDelay::requestor_aborts(),
+        );
+        let off = run_server(
+            &ServeConfig {
+                snapshot_reads: false,
+                ..mix
+            },
+            NoDelay::requestor_aborts(),
+        );
+        assert_eq!(on.state_checksum, off.state_checksum);
+        assert_eq!(on.state_sum, off.state_sum);
+        let m_on = on.stats.merged();
+        assert!(m_on.snapshot_reads > 0);
+        assert_eq!(off.stats.merged().snapshot_reads, 0);
+        assert_eq!(m_on.read_aborts, 0, "aborts can't reach the snapshot path");
     }
 
     #[test]

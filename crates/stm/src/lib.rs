@@ -40,7 +40,8 @@ pub mod throughput;
 pub mod prelude {
     pub use crate::lockfree::{MsQueue, TreiberStack};
     pub use crate::runtime::{
-        Abort, Addr, GroupCommit, MemberOutcome, PreparedTx, Stm, Tx, TxCtx, WriteEntry, WriteOp,
+        Abort, Addr, GroupCommit, MemberOutcome, PreparedTx, SnapshotMiss, SnapshotTx, Stm, Tx,
+        TxCtx, WriteEntry, WriteOp,
     };
     pub use crate::structures::{TMap, TQueue, TStack};
     pub use crate::throughput::{

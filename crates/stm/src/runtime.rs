@@ -77,6 +77,16 @@ const OWNER_MASK: u64 = ((1 << OWNER_BITS) - 1) << OWNER_SHIFT;
 /// Largest packable owner id (inclusive).
 pub(crate) const MAX_OWNER: usize = (1 << OWNER_BITS) - 1;
 const VERSION_MASK: u64 = (1 << OWNER_SHIFT) - 1;
+/// Set on a *locked* meta word while its owner is inside the publish
+/// sequence (version bits are dead while the lock bit is held, so bit 0
+/// is free). Snapshot readers that meet the flag spin briefly — the
+/// owner's clock bump and chain push are instants away and the publish
+/// phase never blocks — instead of consulting the chain, which does not
+/// yet hold the in-flight write.
+const PUBLISH_BIT: u64 = 1;
+/// Retained `(version, value)` entries per word: the current state plus
+/// up to `CHAIN_LEN - 1` distinct prior versions.
+const CHAIN_LEN: usize = 4;
 
 #[inline]
 fn pack_locked(owner: usize) -> u64 {
@@ -103,7 +113,47 @@ struct Cell {
     /// Version + lock bit + owner id.
     meta: AtomicU64,
     value: AtomicU64,
+    /// Monotone count of chain pushes; the newest entry lives at slot
+    /// `(chain_head - 1) % CHAIN_LEN`. Zero means "never written": the
+    /// word has held its version-0 zero since the heap was built.
+    chain_head: AtomicU64,
+    /// Bounded MVCC version chain, a ring of `(version, value)` pairs.
+    /// Written only by the cell's lock holder (publish) or under test
+    /// quiescence ([`Stm::write_direct`]); read lock-free by snapshot
+    /// readers via a per-slot seqlock (`u64::MAX` = mid-write sentinel,
+    /// never a real version — versions fit [`VERSION_MASK`]).
+    chain: [(AtomicU64, AtomicU64); CHAIN_LEN],
 }
+
+impl Cell {
+    fn new() -> Self {
+        Self {
+            meta: AtomicU64::new(0),
+            value: AtomicU64::new(0),
+            chain_head: AtomicU64::new(0),
+            chain: std::array::from_fn(|_| (AtomicU64::new(u64::MAX), AtomicU64::new(0))),
+        }
+    }
+
+    /// Append `(ver, val)` to the version chain. Single-writer (callers
+    /// hold the cell's write lock or run quiesced); the sentinel store
+    /// makes the overwritten slot detectably torn for concurrent
+    /// readers.
+    fn push_chain(&self, ver: u64, val: u64) {
+        let h = self.chain_head.load(Ordering::SeqCst);
+        let slot = &self.chain[(h as usize) % CHAIN_LEN];
+        slot.0.store(u64::MAX, Ordering::SeqCst);
+        slot.1.store(val, Ordering::SeqCst);
+        slot.0.store(ver, Ordering::SeqCst);
+        self.chain_head.store(h + 1, Ordering::SeqCst);
+    }
+}
+
+/// Snapshot-read failure: every *retained* version of some word is newer
+/// than the reader's clock sample. The read-only transaction resamples
+/// the clock and restarts ([`TxCtx::run_snapshot`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SnapshotMiss;
 
 /// The shared STM heap plus runtime state.
 pub struct Stm {
@@ -124,12 +174,7 @@ impl Stm {
             "thread ids must pack into the owner field"
         );
         Self {
-            cells: (0..words)
-                .map(|_| Cell {
-                    meta: AtomicU64::new(0),
-                    value: AtomicU64::new(0),
-                })
-                .collect(),
+            cells: (0..words).map(|_| Cell::new()).collect(),
             clock: AtomicU64::new(0),
             kill_flags: (0..max_threads).map(|_| AtomicBool::new(false)).collect(),
             mode: ResolutionMode::RequestorAborts,
@@ -157,9 +202,14 @@ impl Stm {
         self.cells[a].value.load(Ordering::SeqCst)
     }
 
-    /// Non-transactional write (test setup only).
+    /// Non-transactional write (test setup only). Mirrors the value into
+    /// the version chain at the word's current version so snapshot reads
+    /// see pre-seeded state.
     pub fn write_direct(&self, a: Addr, v: u64) {
-        self.cells[a].value.store(v, Ordering::SeqCst);
+        let cell = &self.cells[a];
+        cell.value.store(v, Ordering::SeqCst);
+        let ver = version_of(cell.meta.load(Ordering::SeqCst));
+        cell.push_chain(ver, v);
     }
 
     /// Current value of the global version clock — equivalently, the
@@ -182,6 +232,75 @@ impl Stm {
             .iter()
             .map(|c| c.value.load(Ordering::SeqCst))
             .collect()
+    }
+
+    /// MVCC read of word `a` at snapshot `rv`: the value of the newest
+    /// version `<= rv`. Never locks, never validates, never aborts — the
+    /// only failure is [`SnapshotMiss`] (every retained version is newer
+    /// than `rv`), which the caller handles by resampling the clock.
+    ///
+    /// Why a flagless lock implies "pending version > rv": publishers set
+    /// [`PUBLISH_BIT`] *before* bumping the clock, so if our meta load
+    /// sees a lock without the flag, that owner's bump had not happened
+    /// at the load — it is ordered after our earlier clock sample, hence
+    /// its write version exceeds `rv` and the chain (which holds every
+    /// published version) is the authority. Unlocked-but-newer means the
+    /// same thing directly.
+    fn snapshot_cell(&self, a: Addr, rv: u64) -> Result<u64, SnapshotMiss> {
+        let cell = &self.cells[a];
+        loop {
+            let m1 = cell.meta.load(Ordering::SeqCst);
+            if !is_locked(m1) && version_of(m1) <= rv {
+                // Fast path: the current value is within the snapshot.
+                // Classic TL2 double-check against a concurrent locker.
+                let v = cell.value.load(Ordering::SeqCst);
+                if cell.meta.load(Ordering::SeqCst) == m1 {
+                    return Ok(v);
+                }
+                continue;
+            }
+            if is_locked(m1) && m1 & PUBLISH_BIT != 0 {
+                // Owner is mid-publish; its chain push is instants away
+                // and the publish sequence never blocks. Wait it out so
+                // the chain scan below cannot miss the in-flight write.
+                std::hint::spin_loop();
+                continue;
+            }
+            // The value we need is a published prior version.
+            let h = cell.chain_head.load(Ordering::SeqCst);
+            if h == 0 {
+                // Never written: version-0 zero is within any snapshot.
+                return Ok(0);
+            }
+            let oldest = h.saturating_sub(CHAIN_LEN as u64);
+            let mut push = h;
+            let mut torn = false;
+            while push > oldest {
+                let slot = &cell.chain[((push - 1) as usize) % CHAIN_LEN];
+                let v1 = slot.0.load(Ordering::SeqCst);
+                let val = slot.1.load(Ordering::SeqCst);
+                let v2 = slot.0.load(Ordering::SeqCst);
+                if v1 == u64::MAX || v1 != v2 || cell.chain_head.load(Ordering::SeqCst) != h {
+                    torn = true; // raced a writer's push; rescan from meta
+                    break;
+                }
+                if v1 <= rv {
+                    return Ok(val);
+                }
+                push -= 1;
+            }
+            if torn {
+                std::hint::spin_loop();
+                continue;
+            }
+            if h <= CHAIN_LEN as u64 {
+                // The chain still holds every write this word ever took
+                // and all are newer than rv: the pre-history is the
+                // version-0 zero.
+                return Ok(0);
+            }
+            return Err(SnapshotMiss);
+        }
     }
 }
 
@@ -295,6 +414,33 @@ pub struct Tx<'c, 's, P: GracePolicy> {
     writes: Vec<WriteEntry>,
 }
 
+/// The view a read-only snapshot body gets: MVCC reads at one fixed
+/// clock sample. No read set, no validation, no locks, no arbiter — a
+/// snapshot transaction cannot abort, only restart on a chain miss.
+pub struct SnapshotTx<'s> {
+    stm: &'s Stm,
+    rv: u64,
+    chain_misses: u64,
+}
+
+impl SnapshotTx<'_> {
+    /// The clock sample this snapshot reads at.
+    pub fn rv(&self) -> u64 {
+        self.rv
+    }
+
+    /// Snapshot read of word `a` (newest version `<= rv()`).
+    pub fn read(&mut self, a: Addr) -> Result<u64, SnapshotMiss> {
+        match self.stm.snapshot_cell(a, self.rv) {
+            Ok(v) => Ok(v),
+            Err(m) => {
+                self.chain_misses += 1;
+                Err(m)
+            }
+        }
+    }
+}
+
 impl<'s, P: GracePolicy> TxCtx<'s, P> {
     pub fn new(stm: &'s Stm, id: usize, policy: P, rng: Box<dyn RngCore + Send>) -> Self {
         assert!(id < stm.kill_flags.len(), "thread id beyond max_threads");
@@ -343,6 +489,49 @@ impl<'s, P: GracePolicy> TxCtx<'s, P> {
                 Err(a) => {
                     self.stats.record_abort(a.into(), 0);
                     self.arbiter.on_abort();
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+
+    /// Number of words in the underlying heap (for request-argument
+    /// clamping at the server layer).
+    pub fn heap_len(&self) -> usize {
+        self.stm.len()
+    }
+
+    /// Run `body` as a **read-only snapshot transaction**: sample the
+    /// clock once, serve every read from the newest version `<= rv` via
+    /// the per-word chains, and restart (fresh sample) on a chain miss.
+    /// The fast path takes no locks, records no read set, performs no
+    /// validation, and never consults the [`ConflictArbiter`] — under a
+    /// bounded chain the read side is wait-free in practice: its only
+    /// delay is a writer racing `CHAIN_LEN` publishes past it.
+    ///
+    /// Counted as a commit (plus `snapshot_reads`) so engine-level
+    /// conservation invariants hold regardless of read mode.
+    pub fn run_snapshot<T>(
+        &mut self,
+        mut body: impl FnMut(&mut SnapshotTx<'s>) -> Result<T, SnapshotMiss>,
+    ) -> T {
+        loop {
+            let rv = self.stm.clock.load(Ordering::SeqCst);
+            let mut snap = SnapshotTx {
+                stm: self.stm,
+                rv,
+                chain_misses: 0,
+            };
+            let out = body(&mut snap);
+            self.stats.chain_misses += snap.chain_misses;
+            match out {
+                Ok(v) => {
+                    self.stats.commits += 1;
+                    self.stats.snapshot_reads += 1;
+                    return v;
+                }
+                Err(SnapshotMiss) => {
+                    self.stats.snapshot_restarts += 1;
                     std::hint::spin_loop();
                 }
             }
@@ -401,6 +590,7 @@ impl<'s, P: GracePolicy> Tx<'_, 's, P> {
         // locally, so our own serves as the proxy (both sides run the same
         // workload — documented simplification). The arbiter inflates it
         // by §7 backoff and sanitizes the sampled grace.
+        self.ctx.stats.arbiter_consults += 1;
         let decision = self.ctx.arbiter.decide(
             self.elapsed_ns() + self.ctx.cleanup_ns,
             2,
@@ -578,12 +768,23 @@ impl<'s, P: GracePolicy> Tx<'_, 's, P> {
         Ok(())
     }
 
-    /// Phase 3: one clock bump, then values and version-release stores.
+    /// Phase 3: flag the held locks as publishing, one clock bump, then
+    /// chain pushes + value stores, then version-release stores. The
+    /// [`PUBLISH_BIT`] must go up *before* the bump: a snapshot reader
+    /// that sees a flagless lock may conclude the pending version
+    /// exceeds its clock sample and trust the chain.
     fn publish_writes(&self) {
         let stm = self.ctx.stm;
+        for e in &self.writes {
+            stm.cells[e.addr]
+                .meta
+                .store(pack_locked(self.ctx.id) | PUBLISH_BIT, Ordering::SeqCst);
+        }
         let wv = stm.clock.fetch_add(1, Ordering::SeqCst) + 1;
         for e in &self.writes {
-            stm.cells[e.addr].value.store(e.val, Ordering::SeqCst);
+            let cell = &stm.cells[e.addr];
+            cell.push_chain(wv & VERSION_MASK, e.val);
+            cell.value.store(e.val, Ordering::SeqCst);
         }
         for e in &self.writes {
             stm.cells[e.addr]
@@ -937,6 +1138,14 @@ impl GroupCommit {
             // resolving folded Add values in member (= serialization)
             // order so value-bearing responses match a serial execution.
             if !self.slots.is_empty() {
+                // Same publish protocol as the per-tx path: flag every
+                // held lock before the group's single bump so snapshot
+                // readers can order themselves against it.
+                for &(a, _) in &self.restore {
+                    stm.cells[a]
+                        .meta
+                        .store(pack_locked(owner) | PUBLISH_BIT, Ordering::SeqCst);
+                }
                 let wv = stm.clock.fetch_add(1, Ordering::SeqCst) + 1;
                 let mut coalesced = 0u64;
                 for si in 0..self.slots.len() {
@@ -960,7 +1169,9 @@ impl GroupCommit {
                             }
                         }
                     }
-                    stm.cells[a].value.store(val, Ordering::SeqCst);
+                    let cell = &stm.cells[a];
+                    cell.push_chain(wv & VERSION_MASK, val);
+                    cell.value.store(val, Ordering::SeqCst);
                 }
                 for &(a, _) in &self.restore {
                     stm.cells[a].meta.store(wv & VERSION_MASK, Ordering::SeqCst);
@@ -1211,6 +1422,126 @@ mod tests {
             assert!(is_locked(m));
             assert_eq!(owner_of(m), owner);
         }
+    }
+
+    // ---- snapshot (MVCC) reads ----
+
+    #[test]
+    fn snapshot_read_sees_seeded_and_committed_state() {
+        let stm = Stm::new(8, 1);
+        stm.write_direct(0, 5); // seeded at version 0 → chain-visible
+        let mut t = ctx(&stm, 0, NoDelay::requestor_aborts());
+        t.run(|tx| tx.write(1, 7));
+        let sum = t.run_snapshot(|snap| Ok(snap.read(0)? + snap.read(1)?));
+        assert_eq!(sum, 12);
+        assert_eq!(t.stats.snapshot_reads, 1);
+        assert_eq!(t.stats.snapshot_restarts, 0);
+        assert_eq!(t.stats.chain_misses, 0);
+        assert_eq!(t.stats.aborts, 0);
+        // Snapshot commits count as commits (conservation invariant).
+        assert_eq!(t.stats.commits, 2);
+    }
+
+    #[test]
+    fn snapshot_read_serves_historical_versions_from_the_chain() {
+        let stm = Stm::new(4, 1);
+        let mut t = ctx(&stm, 0, NoDelay::requestor_aborts());
+        // Versions 1..=6 carry values 1..=6 on word 0.
+        for i in 1..=6u64 {
+            t.run(|tx| tx.write(0, i));
+        }
+        // rv = 4 is retained (chain holds versions 3..=6): value 4.
+        let mut snap = SnapshotTx {
+            stm: &stm,
+            rv: 4,
+            chain_misses: 0,
+        };
+        assert_eq!(snap.read(0), Ok(4));
+        // rv = 1 fell off the bounded chain: a miss, not a wrong value.
+        let mut snap = SnapshotTx {
+            stm: &stm,
+            rv: 1,
+            chain_misses: 0,
+        };
+        assert_eq!(snap.read(0), Err(SnapshotMiss));
+        assert_eq!(snap.chain_misses, 1);
+        // An unwritten word is version-0 zero at any snapshot.
+        let mut snap = SnapshotTx {
+            stm: &stm,
+            rv: 0,
+            chain_misses: 0,
+        };
+        assert_eq!(snap.read(3), Ok(0));
+    }
+
+    #[test]
+    fn snapshot_read_of_group_commit_history() {
+        let stm = Stm::new(8, 1);
+        let mut t = ctx(&stm, 0, NoDelay::requestor_aborts());
+        t.run(|tx| {
+            tx.write(0, 1)?;
+            tx.write(1, 1)
+        });
+        let rv_before = stm.clock_value();
+        let mut members = speculate_batch(
+            &mut t,
+            &[&|tx| tx.write(0, 2), &|tx| tx.write_add(1, 9).map(|_| ())],
+        );
+        let mut gc = GroupCommit::new();
+        let (mut outcomes, mut stats) = (Vec::new(), EngineStats::default());
+        gc.commit_batch(&stm, 0, &mut members, &mut stats, &mut outcomes);
+        assert_eq!(outcomes, vec![MemberOutcome::Committed; 2]);
+        // The pre-group snapshot still reads the pre-group world...
+        let mut snap = SnapshotTx {
+            stm: &stm,
+            rv: rv_before,
+            chain_misses: 0,
+        };
+        assert_eq!((snap.read(0), snap.read(1)), (Ok(1), Ok(1)));
+        // ...and a fresh snapshot reads the group's publish.
+        let sum = t.run_snapshot(|snap| Ok(snap.read(0)? + snap.read(1)?));
+        assert_eq!(sum, 2 + 10);
+    }
+
+    #[test]
+    fn snapshot_readers_never_tear_under_concurrent_writers() {
+        // The writer keeps x == y transactionally; snapshot readers must
+        // observe the invariant at every sampled clock — without a single
+        // abort, validation, or arbiter consultation on the read side.
+        let stm = Arc::new(Stm::new(8, 4));
+        let stop = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|s| {
+            {
+                let stm = Arc::clone(&stm);
+                let stop = Arc::clone(&stop);
+                s.spawn(move || {
+                    let mut t = ctx(&stm, 0, RandRa);
+                    let mut i = 0u64;
+                    while !stop.load(Ordering::SeqCst) {
+                        i += 1;
+                        t.run(|tx| {
+                            tx.write(0, i)?;
+                            tx.write(1, i)
+                        });
+                    }
+                });
+            }
+            for id in 1..4usize {
+                let stm = Arc::clone(&stm);
+                let stop = Arc::clone(&stop);
+                s.spawn(move || {
+                    let mut t = ctx(&stm, id, RandRa);
+                    for _ in 0..3_000 {
+                        let (x, y) = t.run_snapshot(|snap| Ok((snap.read(0)?, snap.read(1)?)));
+                        assert_eq!(x, y, "torn snapshot observed");
+                    }
+                    assert_eq!(t.stats.aborts, 0, "snapshot reads must not abort");
+                    assert_eq!(t.stats.arbiter_consults, 0);
+                    assert_eq!(t.stats.snapshot_reads, 3_000);
+                    stop.store(true, Ordering::SeqCst);
+                });
+            }
+        });
     }
 
     // ---- group commit ----

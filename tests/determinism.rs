@@ -396,6 +396,80 @@ fn server_open_loop_steal_disabled_exact_stats() {
     assert_eq!(steals, 0, "stealing is disabled");
 }
 
+/// Read-mode variant of the determinism suite: serving reads (including
+/// multi-key `GetRange`/`GetMany` scans) through the MVCC snapshot fast
+/// path instead of validated transactions must not change a single
+/// observable — same seed ⇒ same final heap, and snapshot-on vs
+/// snapshot-off agree on the checksum. With partitioned writes (no RMWs,
+/// stealing off) the snapshot arm is conflict-free end to end: zero
+/// aborts, zero read-side aborts, every read on the fast path. The
+/// validated arm's scans *can* cross shards and take timing-dependent
+/// validation aborts, which is exactly why only placement-independent
+/// quantities are compared across modes.
+#[test]
+fn server_read_modes_same_seed_identical_state() {
+    let run = |seed: u64, snapshot_reads: bool| {
+        let cfg = ServeConfig {
+            shards: 2,
+            clients: 3,
+            ops_per_client: 400,
+            keys: 128,
+            zipf_s: 0.9,
+            read_fraction: 0.6,
+            rmw_fraction: 0.0,
+            rmw_span: 2,
+            scan_fraction: 0.2,
+            scan_span: 8,
+            snapshot_reads,
+            think_ns: 0,
+            work_ns: 0,
+            queue_capacity: 16,
+            steal: false,
+            seed,
+            ..Default::default()
+        };
+        let r = run_server(&cfg, NoDelay::requestor_aborts());
+        let m = r.stats.merged();
+        (
+            (m.commits, m.sheds, r.state_sum, r.state_checksum),
+            (m.aborts, m.read_aborts, m.snapshot_reads),
+        )
+    };
+    let (snap, snap_counters) = run(61, true);
+    assert_eq!(
+        snap,
+        run(61, true).0,
+        "same seed must reproduce the snapshot-mode outcome"
+    );
+    let (validated, _) = run(61, false);
+    assert_eq!(
+        snap, validated,
+        "read mode must not change commits, sheds, or the final heap"
+    );
+    assert_eq!(snap.0, 3 * 400, "every issued request must commit");
+    assert_eq!(
+        snap.1, 0,
+        "capacity ≥ clients keeps the closed loop admitted"
+    );
+    let (aborts, read_aborts, snapshot_reads) = snap_counters;
+    assert_eq!(
+        aborts, 0,
+        "partitioned writes + snapshot reads cannot conflict"
+    );
+    assert_eq!(read_aborts, 0, "the snapshot fast path never aborts a read");
+    assert!(snapshot_reads > 0, "reads must actually ride the fast path");
+    assert_eq!(
+        run(61, false).1 .2,
+        0,
+        "snapshot-off must not touch the fast path"
+    );
+    assert_ne!(
+        run(62, true).0 .3,
+        snap.3,
+        "a different seed must land a different heap"
+    );
+}
+
 /// The synthetic Figure 2 testbed reports through the same EngineStats;
 /// its internal seeding must reproduce the f64 accumulators exactly.
 #[test]

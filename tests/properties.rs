@@ -445,3 +445,101 @@ mod group_commit_equivalence {
         }
     }
 }
+
+/// MVCC snapshot reads must be atomic with respect to writer commits:
+/// with every writer transaction adding 1 to *all* of `K` cells, the heap
+/// sum is a multiple of `K` at every clock value — so any snapshot range
+/// sum that is *not* a multiple of `K` is a torn read (a mix of two
+/// committed states), and any sum that goes backwards within one reader
+/// violates snapshot monotonicity. This is the concurrent analogue of the
+/// executor's `GetRange`: sum-over-cells served from one `run_snapshot`.
+mod snapshot_atomicity {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        #[test]
+        fn concurrent_range_sums_hit_committed_states_only(
+            k in 2usize..7,
+            seed in 0u64..1000,
+        ) {
+            const WRITERS: usize = 2;
+            const READERS: usize = 2;
+            const TXNS_PER_WRITER: u64 = 1_500;
+            let stm = Stm::new(k, WRITERS + READERS);
+            let done = AtomicBool::new(false);
+            let torn = std::thread::scope(|s| {
+                let (stm, done) = (&stm, &done);
+                let mut readers = Vec::new();
+                for r in 0..READERS {
+                    readers.push(s.spawn(move || {
+                        let mut ctx = TxCtx::new(
+                            stm,
+                            WRITERS + r,
+                            NoDelay::requestor_wins(),
+                            Box::new(Xoshiro256StarStar::new(seed ^ r as u64)),
+                        );
+                        let mut last = 0u64;
+                        while !done.load(Ordering::SeqCst) {
+                            let sum = ctx.run_snapshot(|snap| {
+                                let mut acc = 0u64;
+                                for a in 0..k {
+                                    acc += snap.read(a)?;
+                                }
+                                Ok(acc)
+                            });
+                            if !sum.is_multiple_of(k as u64) || sum < last {
+                                return Err((last, sum));
+                            }
+                            last = sum;
+                        }
+                        Ok(last)
+                    }));
+                }
+                for w in 0..WRITERS {
+                    s.spawn(move || {
+                        let mut ctx = TxCtx::new(
+                            stm,
+                            w,
+                            NoDelay::requestor_wins(),
+                            Box::new(Xoshiro256StarStar::new(seed.wrapping_add(w as u64))),
+                        );
+                        for _ in 0..TXNS_PER_WRITER {
+                            ctx.run(|tx| {
+                                for a in 0..k {
+                                    tx.write_add(a, 1)?;
+                                }
+                                Ok(())
+                            });
+                        }
+                        done.store(true, Ordering::SeqCst);
+                    });
+                }
+                readers
+                    .into_iter()
+                    .map(|h| h.join().unwrap())
+                    .collect::<Vec<_>>()
+            });
+            let final_sum = k as u64 * WRITERS as u64 * TXNS_PER_WRITER;
+            for outcome in torn {
+                match outcome {
+                    Err((last, sum)) => prop_assert!(
+                        false,
+                        "torn or regressed snapshot sum: {last} -> {sum} (k = {k})"
+                    ),
+                    Ok(last) => prop_assert!(
+                        last <= final_sum,
+                        "snapshot observed a future state: {last} > {final_sum}"
+                    ),
+                }
+            }
+            // Every writer increment landed exactly once.
+            prop_assert_eq!(
+                stm.snapshot_direct().iter().sum::<u64>(),
+                final_sum
+            );
+        }
+    }
+}
