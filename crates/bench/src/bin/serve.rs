@@ -34,10 +34,12 @@ use std::sync::Arc;
 
 use tcp_bench::cli::Flags;
 
+use tcp_bench::perfetto::{timeseries_json, trace_summary_json, write_perfetto};
 use tcp_bench::report::{bench_report, write_report, Json};
 use tcp_bench::table;
 use tcp_core::policy::{DetRw, GracePolicy, NoDelay};
 use tcp_core::randomized::RandRw;
+use tcp_core::trace::{TraceCause, TraceConfig};
 use tcp_server::prelude::{run_server, ServeConfig, ServeReport};
 
 /// One sweep row as JSON, shared with `serve_load` in spirit: counters as
@@ -95,6 +97,73 @@ fn json_row(name: &str, shards: usize, r: &ServeReport) -> Json {
             "throughput_samples",
             Json::arr(m.throughput_samples().into_iter().map(Json::from)),
         ),
+        ("trace_dropped", Json::from(r.trace_dropped)),
+        ("hot_keys", Json::from(r.hot_keys)),
+    ])
+}
+
+/// Interleaved tracing A/B under NO_DELAY: alternate tracing-off/on
+/// rounds on one config (seed varies per round, shared within a round).
+/// Tracing is an observer, so each round's arms must land the identical
+/// heap checksum; the section reports the measured overhead of the
+/// *enabled* path (the disabled path is a single never-taken branch,
+/// tracked by `trend_check` against the committed baseline).
+fn trace_ab(base: &ServeConfig, shards: usize, rounds: u64) -> Json {
+    let mut ops = [Vec::new(), Vec::new()]; // [off, on]
+    let (mut events, mut dropped) = (0u64, 0u64);
+    for round in 0..rounds {
+        let mut checksums = [0u64; 2];
+        for (arm, on) in [(0usize, false), (1usize, true)] {
+            let cfg = ServeConfig {
+                shards,
+                trace: TraceConfig {
+                    enabled: on,
+                    ..TraceConfig::default()
+                },
+                seed: base.seed + round,
+                ..base.clone()
+            };
+            let r = run_server(&cfg, NoDelay::requestor_wins());
+            let m = r.stats.merged();
+            assert_eq!(m.commits + m.sheds, cfg.total_requests());
+            ops[arm].push(r.ops_per_sec());
+            checksums[arm] = r.state_checksum;
+            if let Some(rep) = &r.trace {
+                events += rep.events.len() as u64;
+                dropped += rep.dropped_total();
+                // The acceptance cross-check, live on every traced
+                // round: attribution equals the engine counters.
+                assert_eq!(rep.abort_total(TraceCause::Conflict), m.conflict_aborts);
+                assert_eq!(rep.abort_total(TraceCause::Validation), m.validation_aborts);
+                assert_eq!(rep.abort_total(TraceCause::RemoteKill), m.remote_kills);
+                assert_eq!(rep.shed_total(TraceCause::ShedCapacity), m.capacity_sheds);
+            }
+        }
+        assert_eq!(
+            checksums[0], checksums[1],
+            "tracing must not change the final heap (round {round})"
+        );
+    }
+    let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+    let (off, on) = (mean(&ops[0]), mean(&ops[1]));
+    let overhead_pct = (off - on) / off * 100.0;
+    if overhead_pct > 3.0 {
+        println!(
+            "::warning::tracing-enabled overhead {overhead_pct:.2}% exceeds the 3% budget \
+             ({on:.0} vs {off:.0} ops/s)"
+        );
+    }
+    Json::obj([
+        ("policy", Json::from("NO_DELAY")),
+        ("shards", Json::from(shards)),
+        ("rounds", Json::from(rounds)),
+        ("interleaved", Json::from(true)),
+        ("ops_per_sec_trace_off", Json::from(off)),
+        ("ops_per_sec_trace_on", Json::from(on)),
+        ("overhead_pct", Json::from(overhead_pct)),
+        ("events", Json::from(events)),
+        ("trace_dropped", Json::from(dropped)),
+        ("checksums_agree", Json::from(true)),
     ])
 }
 
@@ -283,6 +352,7 @@ fn main() {
     let quick = table::quick();
     let group_commit = flags.flag("group-commit");
     let read_heavy = flags.flag("read-heavy");
+    let trace_path = flags.get("trace").map(str::to_string);
     let read_fraction_override: Option<f64> = flags.get("read-fraction").map(|v| {
         v.parse().unwrap_or_else(|_| {
             eprintln!("serve: --read-fraction: cannot parse '{v}'");
@@ -429,6 +499,38 @@ fn main() {
     // arbiter consultations on the pure-read run — counter-asserted.
     let snap_ab = snapshot_ab(&base, shard_counts[0], if quick { 3 } else { 5 });
     println!("# snapshot_ab: {}", snap_ab.render());
+    // Interleaved tracing-on/off A/B at the first shard count, always
+    // included so every committed report carries the measured overhead
+    // of the enabled path (and re-asserts observer neutrality).
+    let tr_ab = trace_ab(&base, shard_counts[0], if quick { 3 } else { 5 });
+    println!("# trace_ab: {}", tr_ab.render());
+    // `--trace <path>`: one fully-traced run (first shard count, RRW —
+    // the arm whose aborts are most interesting to attribute) exported
+    // as a Perfetto/chrome://tracing file, with its summary and
+    // per-interval rates folded into the report.
+    let trace_sections = trace_path.map(|path| {
+        let cfg = ServeConfig {
+            shards: shard_counts[0],
+            trace: TraceConfig {
+                enabled: true,
+                ..TraceConfig::default()
+            },
+            ..base.clone()
+        };
+        let r = run_server(&cfg, RandRw);
+        let rep = r.trace.as_ref().expect("tracing was enabled");
+        write_perfetto(&path, rep);
+        println!(
+            "# trace: {} events ({} dropped), {} hot-key slots -> {path}",
+            rep.events.len(),
+            rep.dropped_total(),
+            rep.hot_key_slots()
+        );
+        (
+            trace_summary_json(rep),
+            timeseries_json(rep, cfg.stats_interval_ns.max(1_000_000)),
+        )
+    });
     let mut report = bench_report("serve", config, rows);
     if let Json::Obj(pairs) = &mut report {
         pairs.push(("group_commit_ab".into(), ab));
@@ -437,6 +539,11 @@ fn main() {
             Json::obj([("rows", Json::arr(rh_rows))]),
         ));
         pairs.push(("snapshot_ab".into(), snap_ab));
+        pairs.push(("trace_ab".into(), tr_ab));
+        if let Some((summary, timeseries)) = trace_sections {
+            pairs.push(("trace_summary".into(), summary));
+            pairs.push(("timeseries".into(), timeseries));
+        }
     }
     write_report("BENCH_serve.json", &report);
 }

@@ -14,15 +14,19 @@
 //! Arms: `NO_DELAY`, `DET`, `RRW` (as in `serve`). Output: TSV +
 //! `BENCH_serve_load.json`. Workload-shape flags match `serve`:
 //! `--read-fraction <f>` overrides the base mix, `--read-heavy` applies
-//! the 90/10-with-scans preset.
+//! the 90/10-with-scans preset, `--trace <path>` adds one fully-traced
+//! run at the top offered rate (Perfetto export + `trace_summary` /
+//! `timeseries` report sections).
 
 use std::sync::Arc;
 
 use tcp_bench::cli::Flags;
+use tcp_bench::perfetto::{timeseries_json, trace_summary_json, write_perfetto};
 use tcp_bench::report::{bench_report, write_report, Json};
 use tcp_bench::table;
 use tcp_core::policy::{DetRw, GracePolicy, NoDelay};
 use tcp_core::randomized::RandRw;
+use tcp_core::trace::TraceConfig;
 use tcp_server::prelude::{run_server, LoadMode, ServeConfig, ServeReport};
 
 fn json_row(name: &str, offered: f64, r: &ServeReport) -> Json {
@@ -212,8 +216,40 @@ fn main() {
         ("group_commit", Json::from(group_commit)),
         ("seed", Json::from(base.seed)),
     ]);
-    write_report(
-        "BENCH_serve_load.json",
-        &bench_report("serve_load", config, rows),
-    );
+    let mut report = bench_report("serve_load", config, rows);
+    // `--trace <path>`: one fully-traced run at the top offered rate
+    // under RRW — where queue-wait spans are deepest and most worth
+    // looking at in the viewer.
+    if let Some(path) = flags.get("trace") {
+        let top = offered[offered.len() - 1];
+        let rate_per_client = top / clients as f64;
+        let cfg = ServeConfig {
+            ops_per_client: (rate_per_client * horizon_secs).max(200.0) as u64,
+            mode: LoadMode::Open {
+                rate_per_client,
+                window: 64,
+            },
+            trace: TraceConfig {
+                enabled: true,
+                ..TraceConfig::default()
+            },
+            ..base.clone()
+        };
+        let r = run_server(&cfg, RandRw);
+        let rep = r.trace.as_ref().expect("tracing was enabled");
+        write_perfetto(path, rep);
+        println!(
+            "# trace: {} events ({} dropped) at {top} req/s -> {path}",
+            rep.events.len(),
+            rep.dropped_total()
+        );
+        if let Json::Obj(pairs) = &mut report {
+            pairs.push(("trace_summary".into(), trace_summary_json(rep)));
+            pairs.push((
+                "timeseries".into(),
+                timeseries_json(rep, cfg.stats_interval_ns.max(1_000_000)),
+            ));
+        }
+    }
+    write_report("BENCH_serve_load.json", &report);
 }

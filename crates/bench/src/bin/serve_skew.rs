@@ -18,7 +18,10 @@
 //! Flags (beyond `--quick`): `--theta 0.6,0.99,1.2` overrides the skew
 //! sweep, `--slo-us N` sets the admission SLO arm (default 200µs, 0
 //! disables that arm), `--steal on|off|both` restricts the steal arms,
-//! `--policy NAME` picks the grace policy (default `rand-rw`).
+//! `--policy NAME` picks the grace policy (default `rand-rw`),
+//! `--trace <path>` adds one fully-traced run at the hottest theta
+//! (Perfetto export + `trace_summary` / `timeseries` report sections —
+//! the hot-key heatmap's natural habitat).
 //! Output: TSV + `BENCH_serve_skew.json` (including a `comparisons`
 //! section pairing steal=on vs steal=off per theta under fixed
 //! admission).
@@ -26,9 +29,11 @@
 use std::sync::Arc;
 
 use tcp_bench::cli::{make_policy, Flags};
+use tcp_bench::perfetto::{timeseries_json, trace_summary_json, write_perfetto};
 use tcp_bench::report::{bench_report, write_report, Json};
 use tcp_bench::table;
 use tcp_core::policy::GracePolicy;
+use tcp_core::trace::TraceConfig;
 use tcp_server::prelude::{run_server, LoadMode, ServeConfig, ServeReport};
 
 struct Cell {
@@ -293,6 +298,42 @@ fn main() {
     );
     if let Json::Obj(pairs) = &mut report {
         pairs.push(("comparisons".into(), Json::Arr(comparisons)));
+    }
+    // `--trace <path>`: one fully-traced run at the hottest theta with
+    // stealing on — Steal instants and the hot-key abort heatmap show
+    // exactly which keys the skew concentrates.
+    if let Some(path) = flags.get("trace") {
+        let theta = thetas.iter().copied().fold(0.0, f64::max);
+        let cfg = ServeConfig {
+            zipf_s: theta,
+            steal: true,
+            slo_us: 0,
+            ops_per_client,
+            mode: LoadMode::Open {
+                rate_per_client,
+                window,
+            },
+            trace: TraceConfig {
+                enabled: true,
+                ..TraceConfig::default()
+            },
+            ..base.clone()
+        };
+        let r = run_server(&cfg, Arc::clone(&policy));
+        let rep = r.trace.as_ref().expect("tracing was enabled");
+        write_perfetto(path, rep);
+        println!(
+            "# trace: {} events ({} dropped) at theta={theta} -> {path}",
+            rep.events.len(),
+            rep.dropped_total()
+        );
+        if let Json::Obj(pairs) = &mut report {
+            pairs.push(("trace_summary".into(), trace_summary_json(rep)));
+            pairs.push((
+                "timeseries".into(),
+                timeseries_json(rep, cfg.stats_interval_ns.max(1_000_000)),
+            ));
+        }
     }
     write_report("BENCH_serve_skew.json", &report);
 }

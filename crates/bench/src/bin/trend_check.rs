@@ -13,6 +13,7 @@
 //! ```text
 //! trend_check --prev <old.json> --cur <new.json> \
 //!             [--prev-load <old_load.json> --cur-load <new_load.json>] \
+//!             [--prev-skew <old_skew.json> --cur-skew <new_skew.json>] \
 //!             [--threshold 15] [--strict]
 //! ```
 //!
@@ -21,8 +22,8 @@
 //! full run would be meaningless, and is reported as a skip):
 //!
 //! * **serve** (closed loop): mean of the main sweep rows' `ops_per_sec`
-//!   values (the report is sliced *before* its appended `read_heavy`
-//!   section so the sections don't pollute each other's means);
+//!   values (the report is sliced *before* its appended sections so they
+//!   don't pollute each other's means);
 //! * **serve_read_heavy**: mean `ops_per_sec` over the report's
 //!   `read_heavy` section rows — the snapshot-read fast path's sweep.
 //!   Always warn-only (never escalated by `--strict`): the section is
@@ -30,7 +31,15 @@
 //! * **serve_load** (open loop): mean `ops_per_sec` over the rows at the
 //!   *highest* offered-load point only — the capacity-bound cell, the one
 //!   a serving regression actually moves (low-load cells just track the
-//!   arrival schedule).
+//!   arrival schedule);
+//! * **serve_skew** (open loop at overload): mean `ops_per_sec` over the
+//!   main sweep rows (all theta × steal × admission cells). Always
+//!   warn-only: overload cells on a shared runner are the noisiest
+//!   numbers this checker reads.
+//!
+//! Every comparison carries per-row names (`RRW/shards=4`,
+//! `theta=1.2/steal=on/slo`, ...), and a regression warning names the
+//! offending rows with their individual deltas — not just the mean.
 
 use tcp_bench::cli::Flags;
 
@@ -52,32 +61,57 @@ fn extract_numbers(json: &str, key: &str) -> Vec<f64> {
     out
 }
 
+/// Extract every string value of compact-JSON key `"key":"value"`.
+fn extract_strings(json: &str, key: &str) -> Vec<String> {
+    let pat = format!("\"{key}\":\"");
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(pos) = rest.find(&pat) {
+        rest = &rest[pos + pat.len()..];
+        let end = rest.find('"').unwrap_or(rest.len());
+        out.push(rest[..end].to_string());
+    }
+    out
+}
+
+/// Extract every boolean value of compact-JSON key `"key":true|false`.
+fn extract_bools(json: &str, key: &str) -> Vec<bool> {
+    let pat = format!("\"{key}\":");
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(pos) = rest.find(&pat) {
+        rest = &rest[pos + pat.len()..];
+        if rest.starts_with("true") {
+            out.push(true);
+        } else if rest.starts_with("false") {
+            out.push(false);
+        }
+    }
+    out
+}
+
 /// Extract the first boolean value of compact-JSON key `"key":true|false`.
 fn extract_bool(json: &str, key: &str) -> Option<bool> {
-    let pat = format!("\"{key}\":");
-    let pos = json.find(&pat)?;
-    let rest = &json[pos + pat.len()..];
-    if rest.starts_with("true") {
-        Some(true)
-    } else if rest.starts_with("false") {
-        Some(false)
-    } else {
-        None
-    }
+    extract_bools(json, key).first().copied()
 }
 
 fn mean(xs: &[f64]) -> f64 {
     xs.iter().sum::<f64>() / xs.len() as f64
 }
 
-/// The serve report's main-sweep slice: everything before the appended
-/// `read_heavy` section (a report that predates the section is returned
+/// A named sweep row: `(row label, ops_per_sec)`.
+type Row = (String, f64);
+
+/// The serve report's main-sweep slice: everything before the first
+/// appended section (a report that predates the sections is returned
 /// whole — its rows *are* the main sweep).
 fn main_sweep(json: &str) -> &str {
-    match json.find("\"read_heavy\"") {
-        Some(pos) => &json[..pos],
-        None => json,
-    }
+    let end = ["\"group_commit_ab\"", "\"read_heavy\""]
+        .iter()
+        .filter_map(|s| json.find(s))
+        .min()
+        .unwrap_or(json.len());
+    &json[..end]
 }
 
 /// The serve report's `read_heavy` section slice; empty when the report
@@ -93,31 +127,88 @@ fn read_heavy_section(json: &str) -> &str {
     }
 }
 
-/// The `ops_per_sec` values of the rows at the report's highest
-/// `offered_per_sec` point. Relies on the writer emitting both keys once
-/// per row, in row order, so the flat extractions zip positionally.
-fn ops_at_peak_offered(json: &str) -> Vec<f64> {
+/// The serve_skew report's main-sweep slice: from its `rows` array to
+/// the appended `comparisons` section (whose `theta` keys would
+/// otherwise leak into the labels).
+fn skew_sweep(json: &str) -> &str {
+    let start = json.find("\"rows\"").unwrap_or(0);
+    let end = json.find("\"comparisons\"").unwrap_or(json.len());
+    &json[start..end.max(start)]
+}
+
+/// Closed-loop rows named `policy/shards=N`. Relies on the writer
+/// emitting the keys once per row, in row order, so the flat extractions
+/// zip positionally.
+fn policy_shard_rows(json: &str) -> Vec<Row> {
+    let policies = extract_strings(json, "policy");
+    let shards = extract_numbers(json, "shards");
+    extract_numbers(json, "ops_per_sec")
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| {
+            let policy = policies.get(i).map(String::as_str).unwrap_or("?");
+            let shard = shards
+                .get(i)
+                .map(|s| format!("/shards={s}"))
+                .unwrap_or_default();
+            (format!("{policy}{shard}"), v)
+        })
+        .collect()
+}
+
+/// Open-loop rows at the report's highest `offered_per_sec` point,
+/// named `policy@offered`.
+fn ops_at_peak_offered(json: &str) -> Vec<Row> {
     let offered = extract_numbers(json, "offered_per_sec");
     let ops = extract_numbers(json, "ops_per_sec");
+    let policies = extract_strings(json, "policy");
     let Some(peak) = offered.iter().copied().reduce(f64::max) else {
         return Vec::new();
     };
     offered
         .iter()
+        .enumerate()
         .zip(ops.iter())
-        .filter(|&(&o, _)| o == peak)
-        .map(|(_, &v)| v)
+        .filter(|&((_, &o), _)| o == peak)
+        .map(|((i, _), &v)| {
+            let policy = policies.get(i).map(String::as_str).unwrap_or("?");
+            (format!("{policy}@{peak}"), v)
+        })
         .collect()
 }
 
-/// Compare one baseline/current pair on the values `select` extracts.
-/// Returns `true` when a regression beyond `threshold`% was detected.
+/// Skew-sweep rows named `theta=T/steal=on|off/adm`.
+fn skew_rows(json: &str) -> Vec<Row> {
+    let json = skew_sweep(json);
+    let thetas = extract_numbers(json, "theta");
+    let steals = extract_bools(json, "steal");
+    let admissions = extract_strings(json, "admission");
+    extract_numbers(json, "ops_per_sec")
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| {
+            let theta = thetas.get(i).copied().unwrap_or(f64::NAN);
+            let steal = if steals.get(i) == Some(&true) {
+                "on"
+            } else {
+                "off"
+            };
+            let adm = admissions.get(i).map(String::as_str).unwrap_or("?");
+            (format!("theta={theta}/steal={steal}/{adm}"), v)
+        })
+        .collect()
+}
+
+/// Compare one baseline/current pair on the named rows `select`
+/// extracts. Returns `true` when the mean regressed beyond `threshold`%;
+/// the warning names every offending row (matched by label) alongside
+/// the mean delta.
 fn compare(
     label: &str,
     prev_path: &str,
     cur_path: &str,
     threshold: f64,
-    select: impl Fn(&str) -> Vec<f64>,
+    select: impl Fn(&str) -> Vec<Row>,
 ) -> bool {
     let prev = match std::fs::read_to_string(prev_path) {
         Ok(s) => s,
@@ -142,32 +233,50 @@ fn compare(
         );
         return false;
     }
-    let (prev_ops, cur_ops) = (select(&prev), select(&cur));
-    if prev_ops.is_empty() || cur_ops.is_empty() {
+    let (prev_rows, cur_rows) = (select(&prev), select(&cur));
+    if prev_rows.is_empty() || cur_rows.is_empty() {
         println!(
             "trend_check[{label}]: missing ops_per_sec rows (prev {}, cur {}); skipping",
-            prev_ops.len(),
-            cur_ops.len()
+            prev_rows.len(),
+            cur_rows.len()
         );
         return false;
     }
+    let prev_ops: Vec<f64> = prev_rows.iter().map(|r| r.1).collect();
+    let cur_ops: Vec<f64> = cur_rows.iter().map(|r| r.1).collect();
     let (prev_mean, cur_mean) = (mean(&prev_ops), mean(&cur_ops));
     let delta_pct = (cur_mean - prev_mean) / prev_mean * 100.0;
     println!(
         "trend_check[{label}]: mean ops/s {prev_mean:.0} -> {cur_mean:.0} ({delta_pct:+.1}%) \
          over {} prev / {} cur rows",
-        prev_ops.len(),
-        cur_ops.len()
+        prev_rows.len(),
+        cur_rows.len()
     );
-    if delta_pct < -threshold {
-        println!(
-            "::warning::{label} throughput regressed {:.1}% (> {threshold}% threshold) \
-             vs committed baseline {prev_path}",
-            -delta_pct
-        );
-        return true;
+    if delta_pct >= -threshold {
+        return false;
     }
-    false
+    // Name the rows that actually regressed (matched by label, so a
+    // reordered or re-swept report still attributes correctly).
+    let offenders: Vec<String> = cur_rows
+        .iter()
+        .filter_map(|(name, cur_v)| {
+            let (_, prev_v) = prev_rows.iter().find(|(p, _)| p == name)?;
+            let row_delta = (cur_v - prev_v) / prev_v * 100.0;
+            (row_delta < -threshold)
+                .then(|| format!("{name} {prev_v:.0}->{cur_v:.0} ({row_delta:+.1}%)"))
+        })
+        .collect();
+    let detail = if offenders.is_empty() {
+        "no single row beyond threshold (mean moved by many small drops)".to_string()
+    } else {
+        format!("offending rows: {}", offenders.join(", "))
+    };
+    println!(
+        "::warning::{label} throughput regressed {:.1}% (> {threshold}% threshold) \
+         vs committed baseline {prev_path} — {detail}",
+        -delta_pct
+    );
+    true
 }
 
 fn main() {
@@ -182,17 +291,21 @@ fn main() {
         .get("prev-load")
         .unwrap_or("BENCH_serve_load.prev.json");
     let cur_load = flags.get("cur-load").unwrap_or("BENCH_serve_load.json");
+    let prev_skew = flags
+        .get("prev-skew")
+        .unwrap_or("BENCH_serve_skew.prev.json");
+    let cur_skew = flags.get("cur-skew").unwrap_or("BENCH_serve_skew.json");
     let threshold: f64 = flags.num("threshold", 15.0).unwrap();
     let strict = flags.flag("strict");
 
     let mut regressed = compare(SERVE, prev_path, cur_path, threshold, |j| {
-        extract_numbers(main_sweep(j), "ops_per_sec")
+        policy_shard_rows(main_sweep(j))
     });
     // Read-heavy section: warn-only — a regression here prints the
     // ::warning annotation but never fails the run, even under --strict
     // (older baselines lack the section entirely; compare() skips those).
     compare(SERVE_READ_HEAVY, prev_path, cur_path, threshold, |j| {
-        extract_numbers(read_heavy_section(j), "ops_per_sec")
+        policy_shard_rows(read_heavy_section(j))
     });
     regressed |= compare(
         SERVE_LOAD,
@@ -201,6 +314,9 @@ fn main() {
         threshold,
         ops_at_peak_offered,
     );
+    // Skew sweep: warn-only like read_heavy — overload cells are the
+    // noisiest numbers here, and older baselines may predate the file.
+    compare(SERVE_SKEW, prev_skew, cur_skew, threshold, skew_rows);
     if regressed && strict {
         std::process::exit(1);
     }
@@ -209,12 +325,13 @@ fn main() {
 const SERVE: &str = "serve";
 const SERVE_READ_HEAVY: &str = "serve_read_heavy";
 const SERVE_LOAD: &str = "serve_load";
+const SERVE_SKEW: &str = "serve_skew";
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    const SAMPLE: &str = r#"{"bench":"serve","config":{"quick":true,"seed":42},"rows":[{"policy":"DET","ops_per_sec":1000.5,"ops_per_sec_steal_on":9.9},{"policy":"RRW","ops_per_sec":2000}]}"#;
+    const SAMPLE: &str = r#"{"bench":"serve","config":{"quick":true,"seed":42},"rows":[{"policy":"DET","shards":2,"ops_per_sec":1000.5,"ops_per_sec_steal_on":9.9},{"policy":"RRW","shards":2,"ops_per_sec":2000}]}"#;
 
     #[test]
     fn extracts_exact_key_occurrences_only() {
@@ -243,43 +360,76 @@ mod tests {
         assert!((mean(&[1.0, 3.0]) - 2.0).abs() < 1e-12);
     }
 
+    #[test]
+    fn rows_carry_policy_and_shard_labels() {
+        let rows = policy_shard_rows(main_sweep(SAMPLE));
+        assert_eq!(
+            rows,
+            vec![
+                ("DET/shards=2".to_string(), 1000.5),
+                ("RRW/shards=2".to_string(), 2000.0),
+            ]
+        );
+    }
+
     const LOAD_SAMPLE: &str = r#"{"bench":"serve_load","config":{"quick":true},"rows":[
         {"policy":"DET","offered_per_sec":20000,"ops_per_sec":19000},
         {"policy":"RRW","offered_per_sec":20000,"ops_per_sec":19500},
         {"policy":"DET","offered_per_sec":120000,"ops_per_sec":90000},
         {"policy":"RRW","offered_per_sec":120000,"ops_per_sec":100000}]}"#;
 
-    const SECTIONED: &str = r#"{"bench":"serve","config":{"quick":true},"rows":[{"ops_per_sec":100},{"ops_per_sec":200}],"group_commit_ab":{"ops_per_sec_group_off":5,"ops_per_sec_group_on":6},"read_heavy":{"rows":[{"ops_per_sec":900},{"ops_per_sec":1100}]},"snapshot_ab":{"ops_per_sec_snapshot_off":7,"ops_per_sec_snapshot_on":8,"pure_read_ops_per_sec":9}}"#;
+    const SECTIONED: &str = r#"{"bench":"serve","config":{"quick":true},"rows":[{"policy":"DET","shards":2,"ops_per_sec":100},{"policy":"RRW","shards":4,"ops_per_sec":200}],"group_commit_ab":{"policy":"NO_DELAY","shards":2,"ops_per_sec_group_off":5,"ops_per_sec_group_on":6},"read_heavy":{"rows":[{"policy":"NO_DELAY","shards":2,"ops_per_sec":900},{"policy":"NO_DELAY","shards":4,"ops_per_sec":1100}]},"snapshot_ab":{"ops_per_sec_snapshot_off":7,"ops_per_sec_snapshot_on":8,"pure_read_ops_per_sec":9}}"#;
 
     #[test]
     fn section_slicing_keeps_sweeps_apart() {
         assert_eq!(
-            extract_numbers(main_sweep(SECTIONED), "ops_per_sec"),
-            vec![100.0, 200.0],
-            "main sweep must exclude read_heavy rows"
+            policy_shard_rows(main_sweep(SECTIONED)),
+            vec![
+                ("DET/shards=2".to_string(), 100.0),
+                ("RRW/shards=4".to_string(), 200.0),
+            ],
+            "main sweep must exclude section rows"
         );
         assert_eq!(
-            extract_numbers(read_heavy_section(SECTIONED), "ops_per_sec"),
-            vec![900.0, 1100.0],
+            policy_shard_rows(read_heavy_section(SECTIONED)),
+            vec![
+                ("NO_DELAY/shards=2".to_string(), 900.0),
+                ("NO_DELAY/shards=4".to_string(), 1100.0),
+            ],
             "read_heavy compare must see only its own rows"
         );
         // A baseline that predates the sections: whole file is the main
         // sweep, read_heavy compare sees nothing and is skipped.
-        assert_eq!(
-            extract_numbers(main_sweep(SAMPLE), "ops_per_sec"),
-            vec![1000.5, 2000.0]
-        );
-        assert_eq!(
-            extract_numbers(read_heavy_section(SAMPLE), "ops_per_sec"),
-            Vec::<f64>::new()
-        );
+        assert_eq!(policy_shard_rows(main_sweep(SAMPLE)).len(), 2);
+        assert!(policy_shard_rows(read_heavy_section(SAMPLE)).is_empty());
     }
 
     #[test]
     fn peak_offered_selects_only_the_highest_load_point() {
-        let v = ops_at_peak_offered(LOAD_SAMPLE);
-        assert_eq!(v, vec![90000.0, 100000.0], "low-load rows must be excluded");
-        assert!((mean(&v) - 95000.0).abs() < 1e-9);
-        assert_eq!(ops_at_peak_offered("{}"), Vec::<f64>::new());
+        let rows = ops_at_peak_offered(LOAD_SAMPLE);
+        assert_eq!(
+            rows,
+            vec![
+                ("DET@120000".to_string(), 90000.0),
+                ("RRW@120000".to_string(), 100000.0),
+            ],
+            "low-load rows must be excluded"
+        );
+        assert!(ops_at_peak_offered("{}").is_empty());
+    }
+
+    const SKEW_SAMPLE: &str = r#"{"bench":"serve_skew","config":{"quick":true,"policy":"rand-rw","thetas":[0.6,1.2]},"rows":[{"theta":0.6,"steal":false,"slo_us":0,"admission":"fixed","policy":"rand-rw","ops_per_sec":50000},{"theta":1.2,"steal":true,"slo_us":200,"admission":"slo","policy":"rand-rw","ops_per_sec":70000}],"comparisons":[{"theta":1.2,"ops_per_sec_steal_off":1,"ops_per_sec_steal_on":2}]}"#;
+
+    #[test]
+    fn skew_rows_are_labeled_and_exclude_comparisons() {
+        let rows = skew_rows(SKEW_SAMPLE);
+        assert_eq!(
+            rows,
+            vec![
+                ("theta=0.6/steal=off/fixed".to_string(), 50000.0),
+                ("theta=1.2/steal=on/slo".to_string(), 70000.0),
+            ],
+            "comparisons section must not leak into the sweep rows"
+        );
     }
 }

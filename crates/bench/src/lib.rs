@@ -33,6 +33,7 @@
 //! `BENCH_serve_load.json`) through [`report`].
 
 pub mod cli;
+pub mod perfetto;
 pub mod report;
 
 /// Shared output helpers for the figure binaries.

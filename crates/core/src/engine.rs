@@ -98,6 +98,12 @@ pub struct EngineStats {
     /// queue wait exceeded the configured SLO); a subset of
     /// [`sheds`](Self::sheds).
     pub slo_sheds: u64,
+    /// Requests shed because the home ring was full (or closed); a subset
+    /// of [`sheds`](Self::sheds).
+    pub capacity_sheds: u64,
+    /// Malformed requests rejected before admission; a subset of
+    /// [`sheds`](Self::sheds).
+    pub invalid_sheds: u64,
     /// Envelopes this shard's executor stole from sibling rings and
     /// executed (work-stealing; 0 when stealing is disabled).
     pub steals: u64,
@@ -200,6 +206,8 @@ impl EngineStats {
         }
         self.sheds += other.sheds;
         self.slo_sheds += other.slo_sheds;
+        self.capacity_sheds += other.capacity_sheds;
+        self.invalid_sheds += other.invalid_sheds;
         self.steals += other.steals;
         self.group_commits += other.group_commits;
         self.coalesced_writes += other.coalesced_writes;
@@ -492,6 +500,23 @@ impl ShardedStats {
     /// run-global tally (a subset of [`sheds`](Self::sheds)).
     pub fn slo_sheds(&self) -> u64 {
         self.global.slo_sheds + self.per_thread.iter().map(|c| c.slo_sheds).sum::<u64>()
+    }
+
+    /// Requests shed on a full (or closed) ring, across shards and the
+    /// run-global tally (a subset of [`sheds`](Self::sheds)).
+    pub fn capacity_sheds(&self) -> u64 {
+        self.global.capacity_sheds
+            + self
+                .per_thread
+                .iter()
+                .map(|c| c.capacity_sheds)
+                .sum::<u64>()
+    }
+
+    /// Malformed requests rejected before admission, across shards and the
+    /// run-global tally (a subset of [`sheds`](Self::sheds)).
+    pub fn invalid_sheds(&self) -> u64 {
+        self.global.invalid_sheds + self.per_thread.iter().map(|c| c.invalid_sheds).sum::<u64>()
     }
 
     /// Envelopes executed by a non-owner executor (work-stealing), summed

@@ -52,6 +52,7 @@ pub mod profiler;
 pub mod progress;
 pub mod randomized;
 pub mod rng;
+pub mod trace;
 
 /// Convenient glob-import of the whole public API.
 pub mod prelude {
@@ -75,6 +76,10 @@ pub mod prelude {
     pub use crate::progress::{BackoffState, WithBackoff};
     pub use crate::randomized::{Hybrid, RandRa, RandRaMean, RandRw, RandRwMean, RandRwUniform};
     pub use crate::rng::{uniform01, uniform_in, uniform_u64_below, Xoshiro256StarStar};
+    pub use crate::trace::{
+        HotKeyTable, Trace, TraceCause, TraceConfig, TraceEvent, TraceKind, TraceReport, TraceRing,
+        TraceTag,
+    };
 }
 
 #[cfg(test)]

@@ -130,6 +130,21 @@ pub struct ClientOutcome {
     pub reply_faults: u64,
 }
 
+/// Account one shed in the client's stats: the all-cause total plus a
+/// distinct per-cause counter for every [`ShedCause`] variant — the
+/// per-cause counters each sum through [`EngineStats::merge`], so shed
+/// attribution survives the per-thread → global fold. (Before this
+/// helper, `Capacity` and `Invalid` sheds were only visible in the
+/// undifferentiated total.)
+pub fn count_shed(stats: &mut EngineStats, cause: ShedCause) {
+    stats.sheds += 1;
+    match cause {
+        ShedCause::Capacity => stats.capacity_sheds += 1,
+        ShedCause::Slo => stats.slo_sheds += 1,
+        ShedCause::Invalid => stats.invalid_sheds += 1,
+    }
+}
+
 /// Run one closed-loop client to completion.
 pub fn run_client(
     gen: &RequestGen,
@@ -151,12 +166,7 @@ pub fn run_client(
                 stats.queue_depth_max = stats.queue_depth_max.max(depth as u64);
                 increments_applied += increments;
             }
-            Err((_shed, cause)) => {
-                stats.sheds += 1;
-                if cause == ShedCause::Slo {
-                    stats.slo_sheds += 1;
-                }
-            }
+            Err((_shed, cause)) => count_shed(&mut stats, cause),
         }
         spin_ns(think_ns);
     }
@@ -237,12 +247,7 @@ pub fn run_client_open(
                 increments_applied += increments;
                 outstanding[slot] = true;
             }
-            Err((_shed, cause)) => {
-                stats.sheds += 1;
-                if cause == ShedCause::Slo {
-                    stats.slo_sheds += 1;
-                }
-            }
+            Err((_shed, cause)) => count_shed(&mut stats, cause),
         }
     }
     // Reap the tail of the window so the caller knows every admitted
@@ -450,6 +455,40 @@ mod tests {
                 assert!(picker.draw(&mut rng) < 32);
             }
         }
+    }
+
+    #[test]
+    fn every_shed_cause_increments_a_distinct_counter_that_merges() {
+        // Satellite audit: each ShedCause variant must land in its own
+        // counter (plus the all-cause total), and the per-cause counters
+        // must survive EngineStats::merge — Capacity and Invalid used to
+        // vanish into the undifferentiated total.
+        let mut a = EngineStats::default();
+        count_shed(&mut a, ShedCause::Capacity);
+        count_shed(&mut a, ShedCause::Capacity);
+        count_shed(&mut a, ShedCause::Slo);
+        count_shed(&mut a, ShedCause::Invalid);
+        assert_eq!(a.sheds, 4);
+        assert_eq!(
+            (a.capacity_sheds, a.slo_sheds, a.invalid_sheds),
+            (2, 1, 1),
+            "each cause has its own counter"
+        );
+        let mut b = EngineStats::default();
+        count_shed(&mut b, ShedCause::Slo);
+        count_shed(&mut b, ShedCause::Invalid);
+        b.merge(&a);
+        assert_eq!(b.sheds, 6);
+        assert_eq!(
+            (b.capacity_sheds, b.slo_sheds, b.invalid_sheds),
+            (2, 2, 2),
+            "per-cause attribution survives merge"
+        );
+        assert_eq!(
+            b.sheds,
+            b.capacity_sheds + b.slo_sheds + b.invalid_sheds,
+            "the causes partition the total"
+        );
     }
 
     #[test]

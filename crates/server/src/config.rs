@@ -1,6 +1,8 @@
 //! Service configuration: shard/client topology, workload shape, the load
 //! model (closed vs open loop), and the admission-control knob.
 
+use tcp_core::trace::TraceConfig;
+
 /// How the client fleet offers load.
 #[derive(Clone, Debug, PartialEq, Default)]
 pub enum LoadMode {
@@ -106,6 +108,10 @@ pub struct ServeConfig {
     /// Width of one per-interval throughput sample in nanoseconds;
     /// `0` disables interval sampling.
     pub stats_interval_ns: u64,
+    /// Lifecycle tracing (per-shard event rings, conflict attribution,
+    /// hot-key heatmaps). Disabled by default: every emission point in
+    /// the router, executors, and STM stays a single never-taken branch.
+    pub trace: TraceConfig,
     /// Master seed fanned out to every shard worker and client.
     pub seed: u64,
 }
@@ -134,6 +140,7 @@ impl Default for ServeConfig {
             group_commit: false,
             slo_us: 0,
             stats_interval_ns: 10_000_000,
+            trace: TraceConfig::default(),
             seed: 42,
         }
     }
@@ -257,6 +264,7 @@ mod tests {
         assert!(!cfg.group_commit, "group commit is opt-in");
         assert!(cfg.snapshot_reads, "MVCC snapshot reads are the default");
         assert_eq!(cfg.scan_fraction, 0.0, "scans are opt-in");
+        assert!(!cfg.trace.enabled, "lifecycle tracing is opt-in");
     }
 
     #[test]

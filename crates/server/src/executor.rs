@@ -43,6 +43,7 @@ use std::time::{Duration, Instant};
 use tcp_core::engine::EngineStats;
 use tcp_core::policy::GracePolicy;
 use tcp_core::rng::Xoshiro256StarStar;
+use tcp_core::trace::{Trace, TraceKind};
 use tcp_stm::runtime::{Abort, Addr, GroupCommit, MemberOutcome, PreparedTx, Stm, TxCtx};
 
 use crate::client::spin_ns;
@@ -90,6 +91,10 @@ pub struct ExecutorConfig {
     /// locks, no validation, no arbiter. Off routes them through the
     /// classic validated read path.
     pub snapshot_reads: bool,
+    /// Lifecycle trace sink shared by the run, when tracing is enabled.
+    /// `None` keeps every emission point in the executor and the STM
+    /// context a single never-taken branch.
+    pub trace: Option<Arc<Trace>>,
 }
 
 /// Drain the shard's ring (`queues[cfg.shard]`) to exhaustion, executing
@@ -108,6 +113,9 @@ pub fn run_executor<P: GracePolicy>(
 ) -> EngineStats {
     let mut ctx = TxCtx::new(stm, cfg.shard, policy, Box::new(rng));
     ctx.stats.interval_ns = cfg.stats_interval_ns;
+    if let Some(t) = &cfg.trace {
+        ctx.set_trace(Arc::clone(t));
+    }
     let own = &queues[cfg.shard];
     let mut batch = Vec::with_capacity(cfg.batch_max);
     let mut idle_park = IDLE_PARK_MIN;
@@ -117,6 +125,9 @@ pub fn run_executor<P: GracePolicy>(
     // member→envelope index, eviction re-run responses, and one group
     // counter tally merged into the shard stats at exit.
     let mut gc = GroupCommit::new();
+    if let Some(t) = &cfg.trace {
+        gc.set_trace(Arc::clone(t));
+    }
     let mut member_pool: Vec<PreparedTx> = Vec::new();
     let mut pending: Vec<(Envelope, Pending)> = Vec::new();
     let mut outcomes: Vec<MemberOutcome> = Vec::new();
@@ -185,6 +196,16 @@ pub fn run_executor<P: GracePolicy>(
             continue;
         }
         idle_park = IDLE_PARK_MIN;
+        if cfg.trace.is_some() {
+            // Batch-level event: which ring this batch came off, and how
+            // big the claim was (tx/key identity doesn't apply yet).
+            ctx.set_trace_tag(0, 0);
+            if source == cfg.shard {
+                ctx.trace_event(TraceKind::Pop, n as u64, 0);
+            } else {
+                ctx.trace_event(TraceKind::Steal, n as u64, source as u64);
+            }
+        }
         // Each envelope's service clock starts when its own execution
         // does: the batch-pop timestamp for the first, the previous
         // envelope's completion for the rest. Head-of-line blocking behind
@@ -207,6 +228,7 @@ pub fn run_executor<P: GracePolicy>(
             fallback_resps.clear();
             let mut spec_count = 0usize;
             for env in batch.drain(..) {
+                ctx.set_trace_tag(env.gen, env.req.home_key());
                 if cfg.snapshot_reads && env.req.is_read_only() {
                     let resp = execute_snapshot(&mut ctx, &env.req, cfg.work_ns);
                     pending.push((env, Pending::Ready(resp)));
@@ -222,6 +244,7 @@ pub fn run_executor<P: GracePolicy>(
                     cfg.work_ns,
                 ) {
                     Ok(kind) => {
+                        ctx.trace_event(TraceKind::Speculate, 1, 0);
                         member_env.push(pending.len());
                         fallback_resps.push(None);
                         pending.push((env, Pending::Member(spec_count, kind)));
@@ -231,6 +254,8 @@ pub fn run_executor<P: GracePolicy>(
                         // A conflict mid-speculation is an ordinary abort;
                         // the envelope re-runs through the per-tx path.
                         ctx.stats.record_abort(a.into(), 0);
+                        ctx.trace_event(TraceKind::Speculate, 0, 0);
+                        ctx.trace_abort(a.into());
                         if env.req.is_read_only() {
                             ctx.stats.read_aborts += 1;
                         }
@@ -257,6 +282,8 @@ pub fn run_executor<P: GracePolicy>(
                     &mut outcomes,
                     |mi| {
                         let env = &pending[member_env[mi]].0;
+                        ctx.set_trace_tag(env.gen, env.req.home_key());
+                        ctx.trace_event(TraceKind::GroupFallback, mi as u64, 0);
                         let before = ctx.stats.aborts;
                         fallback_resps[mi] = Some(execute(ctx, &env.req, cfg.work_ns));
                         if env.req.is_read_only() {
@@ -286,18 +313,20 @@ pub fn run_executor<P: GracePolicy>(
                     }
                     Pending::Rerun => {
                         ctx.stats.group_fallbacks += 1;
+                        ctx.set_trace_tag(env.gen, env.req.home_key());
                         execute_request(&mut ctx, cfg, &env.req)
                     }
                 };
                 service_start =
-                    record_envelope(&mut ctx.stats, &queues[source], cfg, &env, service_start);
+                    record_envelope(&mut ctx, &queues[source], cfg, &env, service_start);
                 let _ = env.reply.put(env.gen, resp);
             }
         } else {
             for env in batch.drain(..) {
+                ctx.set_trace_tag(env.gen, env.req.home_key());
                 let resp = execute_request(&mut ctx, cfg, &env.req);
                 service_start =
-                    record_envelope(&mut ctx.stats, &queues[source], cfg, &env, service_start);
+                    record_envelope(&mut ctx, &queues[source], cfg, &env, service_start);
                 // Misdeliveries are counted inside the cell and surfaced
                 // via `ServeReport::reply_faults`; nothing to do here.
                 let _ = env.reply.put(env.gen, resp);
@@ -317,10 +346,11 @@ pub fn run_executor<P: GracePolicy>(
 
 /// Record one served envelope's latency decomposition (queue wait →
 /// service → sojourn) and its throughput-interval commit, feeding the
-/// source ring's SLO estimator. Returns the completion instant, which
-/// becomes the next envelope's service start.
-fn record_envelope(
-    stats: &mut EngineStats,
+/// source ring's SLO estimator — plus, when tracing, the envelope's
+/// `Done` event carrying that same decomposition. Returns the completion
+/// instant, which becomes the next envelope's service start.
+fn record_envelope<P: GracePolicy>(
+    ctx: &mut TxCtx<'_, P>,
     source: &ShardQueue,
     cfg: &ExecutorConfig,
     env: &Envelope,
@@ -332,10 +362,14 @@ fn record_envelope(
     let done = Instant::now();
     let service = done.saturating_duration_since(service_start).as_nanos() as u64;
     source.record_queue_wait(queue_wait);
-    stats.record_queue_wait(queue_wait);
-    stats.record_service(service);
-    stats.record_latency_streaming(queue_wait.saturating_add(service));
-    stats.record_interval_commit(done.saturating_duration_since(cfg.run_start).as_nanos() as u64);
+    ctx.stats.record_queue_wait(queue_wait);
+    ctx.stats.record_service(service);
+    ctx.stats
+        .record_latency_streaming(queue_wait.saturating_add(service));
+    ctx.stats
+        .record_interval_commit(done.saturating_duration_since(cfg.run_start).as_nanos() as u64);
+    ctx.set_trace_tag(env.gen, env.req.home_key());
+    ctx.trace_event(TraceKind::Done, queue_wait, service);
     done
 }
 
@@ -616,6 +650,7 @@ mod tests {
             steal_min_depth: 0,
             group_commit: false,
             snapshot_reads: false,
+            trace: None,
         }
     }
 

@@ -35,6 +35,8 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+use tcp_core::trace::{Trace, TraceCause, TraceEvent, TraceKind, TraceTag};
+
 use crate::protocol::Request;
 use crate::queue::{Envelope, ReplyCell, ShardQueue};
 
@@ -63,6 +65,9 @@ pub struct Router {
     slo_ns: u64,
     /// Per-shard hysteresis state: true while the shard is shedding.
     shedding: Vec<AtomicBool>,
+    /// Lifecycle trace sink for admission events (`Enqueue`/`Shed`),
+    /// when tracing is enabled for the run.
+    trace: Option<Arc<Trace>>,
 }
 
 impl Router {
@@ -76,6 +81,7 @@ impl Router {
                 .collect(),
             slo_ns: 0,
             shedding: (0..shards).map(|_| AtomicBool::new(false)).collect(),
+            trace: None,
         }
     }
 
@@ -84,6 +90,15 @@ impl Router {
     /// (with hysteresis). `0` leaves admission capacity-only.
     pub fn with_slo_us(mut self, slo_us: u64) -> Self {
         self.slo_ns = slo_us.saturating_mul(1_000);
+        self
+    }
+
+    /// Enable lifecycle tracing of admission decisions: every admitted
+    /// request emits an `Enqueue` event (payload = post-push depth) and
+    /// every rejection a `Shed` event carrying its cause, both on the
+    /// request's home-shard ring.
+    pub fn with_trace(mut self, trace: Option<Arc<Trace>>) -> Self {
+        self.trace = trace;
         self
     }
 
@@ -113,16 +128,55 @@ impl Router {
         gen: u64,
     ) -> Result<usize, (Request, ShedCause)> {
         if !req.is_well_formed() {
+            self.trace_shed(&req, ShedCause::Invalid);
             return Err((req, ShedCause::Invalid));
         }
         let shard = req.home_shard(self.queues.len());
         if self.slo_ns > 0 && self.slo_gate_sheds(shard) {
+            self.trace_shed(&req, ShedCause::Slo);
             return Err((req, ShedCause::Slo));
         }
+        let key = req.home_key();
         let env = Envelope::new(req, Arc::clone(reply), gen);
-        self.queues[shard]
-            .try_push(env)
-            .map_err(|env| (env.req, ShedCause::Capacity))
+        match self.queues[shard].try_push(env) {
+            Ok(depth) => {
+                if let Some(t) = &self.trace {
+                    t.emit(TraceEvent::lifecycle(
+                        TraceKind::Enqueue,
+                        TraceTag {
+                            shard: shard as u16,
+                            tx: gen,
+                            key,
+                        },
+                        depth as u64,
+                        0,
+                    ));
+                }
+                Ok(depth)
+            }
+            Err(env) => {
+                self.trace_shed(&env.req, ShedCause::Capacity);
+                Err((env.req, ShedCause::Capacity))
+            }
+        }
+    }
+
+    /// Emit a `Shed` event for a rejected request (no-op while tracing is
+    /// off). Malformed requests fall back to home key 0 — the same
+    /// documented fallback [`Request::home_key`] applies to routing.
+    fn trace_shed(&self, req: &Request, cause: ShedCause) {
+        if let Some(t) = &self.trace {
+            let trace_cause = match cause {
+                ShedCause::Capacity => TraceCause::ShedCapacity,
+                ShedCause::Slo => TraceCause::ShedSlo,
+                ShedCause::Invalid => TraceCause::ShedInvalid,
+            };
+            t.emit(TraceEvent::shed(
+                req.home_shard(self.queues.len()) as u16,
+                req.home_key(),
+                trace_cause,
+            ));
+        }
     }
 
     /// Advance shard `shard`'s hysteresis gate against its current

@@ -7,11 +7,13 @@
 //! [`crate::client`]). This module wires them together for one complete
 //! run and snapshots the result.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use tcp_core::conflict::Conflict;
 use tcp_core::engine::{SeedFanout, ShardedStats};
 use tcp_core::policy::GracePolicy;
+use tcp_core::trace::{Trace, TraceReport};
 use tcp_stm::runtime::Stm;
 
 use crate::client::{run_client, run_client_open, RequestGen};
@@ -50,6 +52,16 @@ pub struct ServeReport {
     pub clock_bumps: u64,
     /// Display name of the grace policy that served the run.
     pub policy: String,
+    /// Lifecycle-trace events dropped on ring overflow (0 when tracing is
+    /// off or the rings kept up) — surfaced here so drop accounting rides
+    /// in every bench row next to the shed counters.
+    pub trace_dropped: u64,
+    /// Occupied hot-key attribution slots across shards (0 when tracing
+    /// is off or nothing aborted).
+    pub hot_keys: u64,
+    /// The drained lifecycle trace, when `cfg.trace.enabled` (events,
+    /// per-cause attribution, per-shard hot-key tables).
+    pub trace: Option<TraceReport>,
 }
 
 impl ServeReport {
@@ -88,7 +100,13 @@ where
     cfg.validate();
     let mode = policy.mode(&Conflict::pair(1000.0));
     let stm = Stm::with_mode(cfg.keys as usize, cfg.shards, mode);
-    let router = Router::new(cfg.shards, cfg.queue_capacity).with_slo_us(cfg.slo_us);
+    let trace = cfg
+        .trace
+        .enabled
+        .then(|| Arc::new(Trace::new(cfg.shards, &cfg.trace)));
+    let router = Router::new(cfg.shards, cfg.queue_capacity)
+        .with_slo_us(cfg.slo_us)
+        .with_trace(trace.clone());
     let queues = router.queues();
     let gen = RequestGen::from_config(cfg);
 
@@ -120,6 +138,7 @@ where
                     steal_min_depth: cfg.steal_min_depth,
                     group_commit: cfg.group_commit,
                     snapshot_reads: cfg.snapshot_reads,
+                    trace: trace.clone(),
                 };
                 s.spawn(move || run_executor(stm_ref, policy, rng, queues_ref, &exec_cfg))
             })
@@ -162,6 +181,9 @@ where
 
     let snapshot = stm.snapshot_direct();
     let state_sum = snapshot.iter().copied().fold(0u64, u64::wrapping_add);
+    // Drain the trace only after every emitter has joined, so the report
+    // is a complete, quiescent view of the run.
+    let trace_report = trace.map(|t| t.finish());
     ServeReport {
         stats,
         wall_ns,
@@ -171,6 +193,9 @@ where
         reply_faults,
         clock_bumps: stm.clock_value(),
         policy: policy.name(),
+        trace_dropped: trace_report.as_ref().map_or(0, |r| r.dropped_total()),
+        hot_keys: trace_report.as_ref().map_or(0, |r| r.hot_key_slots()),
+        trace: trace_report,
     }
 }
 

@@ -36,12 +36,14 @@
 //! their per-member values in that same order).
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use rand::RngCore;
 use tcp_core::conflict::ResolutionMode;
 use tcp_core::engine::{AbortKind, ConflictArbiter, EngineStats};
 use tcp_core::policy::GracePolicy;
+use tcp_core::trace::{Trace, TraceEvent, TraceKind, TraceTag};
 
 /// Word addresses within an [`Stm`] heap.
 pub type Addr = usize;
@@ -403,6 +405,16 @@ pub struct TxCtx<'s, P: GracePolicy> {
     write_buf: Vec<WriteEntry>,
     /// Recycled pre-lock meta table for the commit's acquire phase.
     restore_buf: Vec<u64>,
+    /// Lifecycle trace sink, when tracing is enabled for the run. `None`
+    /// keeps every emission point a single never-taken branch.
+    trace: Option<Arc<Trace>>,
+    /// Identity stamped onto emitted events (shard = this context's id;
+    /// tx/key re-stamped per request by the executor).
+    trace_tag: TraceTag,
+    /// Grace period (ns) granted by the most recent arbiter consult of
+    /// the current attempt, attached to the next abort event. Only
+    /// maintained while tracing.
+    last_grace_ns: u64,
 }
 
 /// The view a transaction body gets: transactional reads and writes.
@@ -454,6 +466,43 @@ impl<'s, P: GracePolicy> TxCtx<'s, P> {
             read_buf: Vec::with_capacity(8),
             write_buf: Vec::with_capacity(8),
             restore_buf: Vec::with_capacity(8),
+            trace: None,
+            trace_tag: TraceTag::default(),
+            last_grace_ns: 0,
+        }
+    }
+
+    /// Enable lifecycle tracing: events emitted by this context land on
+    /// shard `id`'s ring of `trace`.
+    pub fn set_trace(&mut self, trace: Arc<Trace>) {
+        self.trace_tag.shard = self.id as u16;
+        self.trace = Some(trace);
+    }
+
+    /// Stamp the (tx, key) identity carried by subsequent events — the
+    /// executor calls this per envelope. No-op while tracing is off.
+    pub fn set_trace_tag(&mut self, tx: u64, key: u64) {
+        if self.trace.is_some() {
+            self.trace_tag.tx = tx;
+            self.trace_tag.key = key;
+        }
+    }
+
+    /// Emit a causeless lifecycle event under the current tag (single
+    /// branch while tracing is off).
+    pub fn trace_event(&self, kind: TraceKind, a: u64, b: u64) {
+        if let Some(t) = &self.trace {
+            t.emit(TraceEvent::lifecycle(kind, self.trace_tag, a, b));
+        }
+    }
+
+    /// Emit an abort event carrying the cause and the grace period the
+    /// arbiter granted on this attempt's last consult (0 when the abort
+    /// was not preceded by a consult).
+    pub fn trace_abort(&mut self, kind: AbortKind) {
+        if let Some(t) = &self.trace {
+            t.emit(TraceEvent::abort(self.trace_tag, kind, self.last_grace_ns));
+            self.last_grace_ns = 0;
         }
     }
 
@@ -488,6 +537,7 @@ impl<'s, P: GracePolicy> TxCtx<'s, P> {
                 }
                 Err(a) => {
                     self.stats.record_abort(a.into(), 0);
+                    self.trace_abort(a.into());
                     self.arbiter.on_abort();
                     std::hint::spin_loop();
                 }
@@ -528,10 +578,12 @@ impl<'s, P: GracePolicy> TxCtx<'s, P> {
                 Ok(v) => {
                     self.stats.commits += 1;
                     self.stats.snapshot_reads += 1;
+                    self.trace_event(TraceKind::SnapshotRead, snap.chain_misses, 0);
                     return v;
                 }
                 Err(SnapshotMiss) => {
                     self.stats.snapshot_restarts += 1;
+                    self.trace_event(TraceKind::SnapshotRestart, snap.chain_misses, 0);
                     std::hint::spin_loop();
                 }
             }
@@ -596,6 +648,11 @@ impl<'s, P: GracePolicy> Tx<'_, 's, P> {
             2,
             &mut self.ctx.rng,
         );
+        if self.ctx.trace.is_some() {
+            // Remembered so the abort event (if this attempt dies) can
+            // report the grace the arbiter granted it.
+            self.ctx.last_grace_ns = decision.grace as u64;
+        }
         let deadline = self.start.elapsed().as_nanos() as f64 + decision.grace;
         let wait_start = Instant::now();
         loop {
@@ -803,15 +860,25 @@ impl<'s, P: GracePolicy> Tx<'_, 's, P> {
 
     fn commit_phases(&mut self, restore: &mut Vec<u64>) -> Result<(), Abort> {
         self.acquire_write_locks(restore)?;
+        if !self.writes.is_empty() {
+            self.ctx
+                .trace_event(TraceKind::Acquire, self.writes.len() as u64, 0);
+        }
         if let Err(e) = self.validate_read_set(restore) {
             self.release_locks(restore);
             return Err(e);
         }
+        self.ctx
+            .trace_event(TraceKind::Validate, self.reads.len() as u64, 0);
         if self.killed() {
             self.release_locks(restore);
             return Err(Abort::RemoteKill);
         }
         self.publish_writes();
+        if !self.writes.is_empty() {
+            self.ctx
+                .trace_event(TraceKind::Publish, self.writes.len() as u64, 0);
+        }
         Ok(())
     }
 }
@@ -920,11 +987,19 @@ pub struct GroupCommit {
     slots: Vec<Addr>,
     /// Commit-time pre-lock metas, parallel to `slots`' acquired prefix.
     restore: Vec<(Addr, u64)>,
+    /// Lifecycle trace sink for group-level events (one `GroupCommit`
+    /// event per published group); `None` while tracing is off.
+    trace: Option<Arc<Trace>>,
 }
 
 impl GroupCommit {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Enable lifecycle tracing for this planner's group-level events.
+    pub fn set_trace(&mut self, trace: Arc<Trace>) {
+        self.trace = Some(trace);
     }
 
     /// Can `m` join the current group without breaking member-order
@@ -1178,6 +1253,18 @@ impl GroupCommit {
                 }
                 self.restore.clear();
                 stats.record_group_commit(self.active.len() as u64, coalesced);
+                if let Some(t) = &self.trace {
+                    t.emit(TraceEvent::lifecycle(
+                        TraceKind::GroupCommit,
+                        TraceTag {
+                            shard: owner as u16,
+                            tx: 0,
+                            key: 0,
+                        },
+                        self.active.len() as u64,
+                        coalesced,
+                    ));
+                }
             }
             for &mi in &self.active {
                 outcomes[mi] = MemberOutcome::Committed;

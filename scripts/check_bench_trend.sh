@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Compare the freshly produced BENCH_serve.json / BENCH_serve_load.json
-# against the committed baselines and warn on a >15% ops/s regression
-# (see the trend_check bin for the comparison rules: serve = mean over
-# all rows, serve_load = mean over the highest offered-load point). Run
-# after `serve --quick` and `serve_load --quick` from the repo root:
+# Compare the freshly produced BENCH_serve.json / BENCH_serve_load.json /
+# BENCH_serve_skew.json against the committed baselines and warn on a
+# >15% ops/s regression (see the trend_check bin for the comparison
+# rules: serve = mean over the main sweep rows, serve_load = mean over
+# the highest offered-load point, serve_skew = warn-only mean over all
+# cells; warnings name the offending rows). Run after the serve bins'
+# --quick runs from the repo root:
 #
 #   ./scripts/check_bench_trend.sh [--strict] [--threshold N]
 #
@@ -17,18 +19,21 @@ cd "$(dirname "$0")/.."
 
 prev=$(mktemp)
 prev_load=$(mktemp)
-trap 'rm -f "$prev" "$prev_load"' EXIT
+prev_skew=$(mktemp)
+trap 'rm -f "$prev" "$prev_load" "$prev_skew"' EXIT
 if ! git show HEAD:BENCH_serve.json > "$prev" 2>/dev/null; then
     echo "check_bench_trend: no committed BENCH_serve.json baseline; skipping"
     exit 0
 fi
-# The serve_load baseline is optional: trend_check skips a pair whose
-# baseline file is missing/empty.
+# The serve_load and serve_skew baselines are optional: trend_check
+# skips a pair whose baseline file is missing/empty.
 git show HEAD:BENCH_serve_load.json > "$prev_load" 2>/dev/null || rm -f "$prev_load"
+git show HEAD:BENCH_serve_skew.json > "$prev_skew" 2>/dev/null || rm -f "$prev_skew"
 
 if [ "${TREND_STRICT:-0}" = "1" ]; then
     set -- --strict "$@"
 fi
 cargo run -q --release -p tcp-bench --bin trend_check -- \
     --prev "$prev" --cur BENCH_serve.json \
-    --prev-load "$prev_load" --cur-load BENCH_serve_load.json "$@"
+    --prev-load "$prev_load" --cur-load BENCH_serve_load.json \
+    --prev-skew "$prev_skew" --cur-skew BENCH_serve_skew.json "$@"
