@@ -16,7 +16,7 @@ fn bench_stm(crit: &mut Criterion) {
             &stm,
             0,
             NoDelay::requestor_aborts(),
-            Box::new(Xoshiro256StarStar::new(1)),
+            Xoshiro256StarStar::new(1),
         );
         b.iter(|| {
             t.run(|tx| {
@@ -26,11 +26,11 @@ fn bench_stm(crit: &mut Criterion) {
         })
     });
     group.bench_function("uncontended_read_only", |b| {
-        let mut t = TxCtx::new(&stm, 0, RandRa, Box::new(Xoshiro256StarStar::new(2)));
+        let mut t = TxCtx::new(&stm, 0, RandRa, Xoshiro256StarStar::new(2));
         b.iter(|| t.run(|tx| tx.read(black_box(7))))
     });
     group.bench_function("uncontended_8_word_txn", |b| {
-        let mut t = TxCtx::new(&stm, 0, RandRa, Box::new(Xoshiro256StarStar::new(3)));
+        let mut t = TxCtx::new(&stm, 0, RandRa, Xoshiro256StarStar::new(3));
         b.iter(|| {
             t.run(|tx| {
                 for a in 8..16 {

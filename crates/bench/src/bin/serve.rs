@@ -343,6 +343,64 @@ fn snapshot_ab(base: &ServeConfig, shards: usize, rounds: u64) -> Json {
     ])
 }
 
+/// The `layout` section: geometry of the serve heap under the shard-major
+/// SoA layout (padding overhead, line counts) plus a quick uncontended
+/// read/commit ns/op probe on exactly that layout. `trend_check` tracks
+/// these warn-only; the deep layout sweep lives in the `stm_hot` bin.
+fn layout_section(base: &ServeConfig, shards: usize) -> Json {
+    use tcp_core::conflict::ResolutionMode;
+    use tcp_core::policy::NoDelay as StmNoDelay;
+    use tcp_core::rng::Xoshiro256StarStar;
+    use tcp_stm::prelude::{ShardLayout, Stm, TxCtx, PAIRS_PER_LINE};
+
+    let words = base.keys as usize;
+    let layout = ShardLayout::new(words, shards);
+    let lines = layout.slots() / PAIRS_PER_LINE;
+    let padding_pct = (layout.slots() - words) as f64 / words as f64 * 100.0;
+
+    let stm = Stm::with_layout(words, 1, shards, ResolutionMode::RequestorWins);
+    for k in 0..words {
+        stm.write_direct(k, k as u64);
+    }
+    let mut ctx = TxCtx::new(
+        &stm,
+        0,
+        StmNoDelay::requestor_wins(),
+        Xoshiro256StarStar::new(base.seed),
+    );
+    let iters = 50_000u64;
+    let time = |f: &mut dyn FnMut()| {
+        let t0 = std::time::Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        t0.elapsed().as_nanos() as f64 / iters as f64
+    };
+    let mut k = 0usize;
+    let read_ns = time(&mut || {
+        k = (k + 97) % words;
+        let key = k;
+        std::hint::black_box(ctx.run(|tx| tx.read(key)));
+    });
+    let mut k = 0usize;
+    let commit_ns = time(&mut || {
+        k = (k + 97) % words;
+        let key = k;
+        ctx.run(|tx| tx.write(key, key as u64));
+    });
+    assert_eq!(ctx.stats.aborts, 0, "uncontended layout probe aborted");
+    Json::obj([
+        ("shards", Json::from(shards)),
+        ("words", Json::from(words)),
+        ("slots", Json::from(layout.slots())),
+        ("hot_lines", Json::from(lines)),
+        ("pairs_per_line", Json::from(PAIRS_PER_LINE)),
+        ("padding_overhead_pct", Json::from(padding_pct)),
+        ("uncontended_read_ns", Json::from(read_ns)),
+        ("uncontended_commit_ns", Json::from(commit_ns)),
+    ])
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let flags = Flags::parse(&args).unwrap_or_else(|e| {
@@ -504,6 +562,11 @@ fn main() {
     // of the enabled path (and re-asserts observer neutrality).
     let tr_ab = trace_ab(&base, shard_counts[0], if quick { 3 } else { 5 });
     println!("# trace_ab: {}", tr_ab.render());
+    // Heap-layout geometry and uncontended hot-path probe at the first
+    // shard count (after trace_ab so `trend_check`'s section markers for
+    // the earlier slices stay where they were).
+    let layout = layout_section(&base, shard_counts[0]);
+    println!("# layout: {}", layout.render());
     // `--trace <path>`: one fully-traced run (first shard count, RRW —
     // the arm whose aborts are most interesting to attribute) exported
     // as a Perfetto/chrome://tracing file, with its summary and
@@ -540,6 +603,7 @@ fn main() {
         ));
         pairs.push(("snapshot_ab".into(), snap_ab));
         pairs.push(("trace_ab".into(), tr_ab));
+        pairs.push(("layout".into(), layout));
         if let Some((summary, timeseries)) = trace_sections {
             pairs.push(("trace_summary".into(), summary));
             pairs.push(("timeseries".into(), timeseries));

@@ -1,0 +1,156 @@
+//! Hot-path microbenchmark for the STM heap: uncontended per-operation
+//! latency of the three paths the SoA layout overhaul targets —
+//! validated read transactions, write-commit transactions, and MVCC
+//! snapshot-read transactions — each reported as ns/op, plus the raw
+//! direct-read cost of one heap word as a floor.
+//!
+//! Single-threaded and uncontended by construction: this isolates memory
+//! layout and ordering effects (cache-line padding, Acquire vs SeqCst,
+//! inline small-sets, devirtualized RNG) from contention noise, which
+//! `serve`/`stm_throughput` cover. Results land in `BENCH_stm_hot.json`
+//! and are tracked warn-only by `trend_check`.
+//!
+//! Flat (`shards = 1`) and shard-major (`shards = 8`) layouts run the
+//! same loops so a layout regression shows up as a delta between the two
+//! row groups rather than only against the committed baseline.
+
+use std::time::Instant;
+
+use tcp_bench::report::{bench_report, write_report, Json};
+use tcp_bench::table;
+use tcp_core::conflict::ResolutionMode;
+use tcp_core::policy::NoDelay;
+use tcp_core::rng::Xoshiro256StarStar;
+use tcp_stm::prelude::{Stm, TxCtx};
+
+const WORDS: usize = 1024;
+const READS_PER_TXN: usize = 8;
+const WRITES_PER_TXN: usize = 4;
+const SNAP_SPAN: usize = 16;
+
+/// Time `iters` repetitions of `f`, returning mean ns per repetition.
+fn time_ns(iters: u64, mut f: impl FnMut()) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t0.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// One full measurement pass over a given layout. `stride` walks the key
+/// space so consecutive transactions touch different words (no
+/// same-line artificial locality), deterministically.
+fn bench_layout(name: &str, shards: usize, iters: u64) -> Vec<Json> {
+    let stm = Stm::with_layout(WORDS, 1, shards, ResolutionMode::RequestorAborts);
+    for k in 0..WORDS {
+        stm.write_direct(k, k as u64);
+    }
+    let mut ctx = TxCtx::new(
+        &stm,
+        0,
+        NoDelay::requestor_aborts(),
+        Xoshiro256StarStar::new(1),
+    );
+
+    let mut rows = Vec::new();
+    let mut push = |op: &str, ns: f64, per_txn: usize| {
+        table::row(&[
+            name.into(),
+            op.into(),
+            table::num(ns),
+            table::num(1e9 / ns),
+            per_txn.to_string(),
+        ]);
+        rows.push(Json::obj([
+            ("layout", Json::from(name)),
+            ("op", Json::from(op)),
+            ("ns_per_op", Json::from(ns)),
+            ("ops_per_sec", Json::from(1e9 / ns)),
+            ("touches_per_txn", Json::from(per_txn)),
+        ]));
+    };
+
+    // Floor: a bare versioned read of one heap word, outside any txn.
+    let mut k = 0usize;
+    let ns = time_ns(iters * 4, || {
+        k = (k + 97) % WORDS;
+        std::hint::black_box(stm.read_direct(k));
+    });
+    push("read_direct", ns, 1);
+
+    // Read-only transaction: rv sample + N validated reads + read-set
+    // validation at commit.
+    let mut k = 0usize;
+    let ns = time_ns(iters, || {
+        k = (k + 97) % (WORDS - READS_PER_TXN);
+        let base = k;
+        let sum = ctx.run(|tx| {
+            let mut acc = 0u64;
+            for i in 0..READS_PER_TXN {
+                acc += tx.read(base + i)?;
+            }
+            Ok(acc)
+        });
+        std::hint::black_box(sum);
+    });
+    push("read_txn", ns, READS_PER_TXN);
+
+    // Write commit: N buffered writes + lock/validate/publish + one
+    // clock bump + chain pushes.
+    let mut k = 0usize;
+    let ns = time_ns(iters, || {
+        k = (k + 97) % (WORDS - WRITES_PER_TXN);
+        let base = k;
+        ctx.run(|tx| {
+            for i in 0..WRITES_PER_TXN {
+                tx.write(base + i, (base + i) as u64)?;
+            }
+            Ok(())
+        });
+    });
+    push("commit_txn", ns, WRITES_PER_TXN);
+
+    // Snapshot scan: one MVCC read-only transaction over a key range —
+    // the `GetRange` fast path.
+    let mut k = 0usize;
+    let ns = time_ns(iters, || {
+        k = (k + 97) % (WORDS - SNAP_SPAN);
+        let base = k;
+        let sum = ctx.run_snapshot(|snap| {
+            let mut acc = 0u64;
+            for i in 0..SNAP_SPAN {
+                acc += snap.read(base + i)?;
+            }
+            Ok(acc)
+        });
+        std::hint::black_box(sum);
+    });
+    push("snapshot_txn", ns, SNAP_SPAN);
+
+    assert_eq!(ctx.stats.aborts, 0, "uncontended run must never abort");
+    rows
+}
+
+fn main() {
+    let quick = table::quick();
+    let iters: u64 = if quick { 20_000 } else { 200_000 };
+    println!("# stm_hot: uncontended hot-path latency, {WORDS} words, {iters} iters/op");
+    table::header(&["layout", "op", "ns/op", "ops/s", "touches/txn"]);
+
+    // Warm-up pass (untimed rows discarded): page in the heap and let
+    // the small-sets reach their steady-state footprint.
+    let _ = bench_layout("warmup", 1, iters / 10);
+
+    let mut rows = bench_layout("flat", 1, iters);
+    rows.extend(bench_layout("shard_major_8", 8, iters));
+
+    let config = Json::obj([
+        ("quick", Json::from(quick)),
+        ("words", Json::from(WORDS)),
+        ("iters", Json::from(iters)),
+        ("reads_per_txn", Json::from(READS_PER_TXN)),
+        ("writes_per_txn", Json::from(WRITES_PER_TXN)),
+        ("snap_span", Json::from(SNAP_SPAN)),
+    ]);
+    write_report("BENCH_stm_hot.json", &bench_report("stm_hot", config, rows));
+}

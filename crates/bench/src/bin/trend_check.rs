@@ -35,7 +35,11 @@
 //! * **serve_skew** (open loop at overload): mean `ops_per_sec` over the
 //!   main sweep rows (all theta × steal × admission cells). Always
 //!   warn-only: overload cells on a shared runner are the noisiest
-//!   numbers this checker reads.
+//!   numbers this checker reads;
+//! * **serve_layout** / **stm_hot**: the serve report's `layout` probe
+//!   (uncontended read/commit, inverted to ops/s) and the `stm_hot`
+//!   microbench rows. Always warn-only — single-threaded nanosecond
+//!   timings jitter hardest of all on shared runners.
 //!
 //! Every comparison carries per-row names (`RRW/shards=4`,
 //! `theta=1.2/steal=on/slo`, ...), and a regression warning names the
@@ -177,6 +181,41 @@ fn ops_at_peak_offered(json: &str) -> Vec<Row> {
         .collect()
 }
 
+/// The serve report's `layout` section as rate rows: the uncontended
+/// read/commit ns probes inverted to ops/s so the shared "higher is
+/// better" comparison applies. Empty when the report predates the
+/// section.
+fn layout_rows(json: &str) -> Vec<Row> {
+    let Some(start) = json.find("\"layout\"") else {
+        return Vec::new();
+    };
+    let section = &json[start..];
+    let mut rows = Vec::new();
+    for key in ["uncontended_read_ns", "uncontended_commit_ns"] {
+        if let Some(&ns) = extract_numbers(section, key).first() {
+            if ns > 0.0 {
+                rows.push((key.trim_end_matches("_ns").to_string(), 1e9 / ns));
+            }
+        }
+    }
+    rows
+}
+
+/// `stm_hot` rows named `layout/op` on their `ops_per_sec` values.
+fn stm_hot_rows(json: &str) -> Vec<Row> {
+    let layouts = extract_strings(json, "layout");
+    let ops_names = extract_strings(json, "op");
+    extract_numbers(json, "ops_per_sec")
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| {
+            let layout = layouts.get(i).map(String::as_str).unwrap_or("?");
+            let op = ops_names.get(i).map(String::as_str).unwrap_or("?");
+            (format!("{layout}/{op}"), v)
+        })
+        .collect()
+}
+
 /// Skew-sweep rows named `theta=T/steal=on|off/adm`.
 fn skew_rows(json: &str) -> Vec<Row> {
     let json = skew_sweep(json);
@@ -295,6 +334,8 @@ fn main() {
         .get("prev-skew")
         .unwrap_or("BENCH_serve_skew.prev.json");
     let cur_skew = flags.get("cur-skew").unwrap_or("BENCH_serve_skew.json");
+    let prev_hot = flags.get("prev-hot").unwrap_or("BENCH_stm_hot.prev.json");
+    let cur_hot = flags.get("cur-hot").unwrap_or("BENCH_stm_hot.json");
     let threshold: f64 = flags.num("threshold", 15.0).unwrap();
     let strict = flags.flag("strict");
 
@@ -317,6 +358,11 @@ fn main() {
     // Skew sweep: warn-only like read_heavy — overload cells are the
     // noisiest numbers here, and older baselines may predate the file.
     compare(SERVE_SKEW, prev_skew, cur_skew, threshold, skew_rows);
+    // Layout probe and stm_hot microbench: warn-only — single-threaded
+    // nanosecond timings on a shared runner jitter well beyond the
+    // serving sweeps, and older baselines predate both sections.
+    compare(SERVE_LAYOUT, prev_path, cur_path, threshold, layout_rows);
+    compare(STM_HOT, prev_hot, cur_hot, threshold, stm_hot_rows);
     if regressed && strict {
         std::process::exit(1);
     }
@@ -326,6 +372,8 @@ const SERVE: &str = "serve";
 const SERVE_READ_HEAVY: &str = "serve_read_heavy";
 const SERVE_LOAD: &str = "serve_load";
 const SERVE_SKEW: &str = "serve_skew";
+const SERVE_LAYOUT: &str = "serve_layout";
+const STM_HOT: &str = "stm_hot";
 
 #[cfg(test)]
 mod tests {
@@ -419,6 +467,31 @@ mod tests {
     }
 
     const SKEW_SAMPLE: &str = r#"{"bench":"serve_skew","config":{"quick":true,"policy":"rand-rw","thetas":[0.6,1.2]},"rows":[{"theta":0.6,"steal":false,"slo_us":0,"admission":"fixed","policy":"rand-rw","ops_per_sec":50000},{"theta":1.2,"steal":true,"slo_us":200,"admission":"slo","policy":"rand-rw","ops_per_sec":70000}],"comparisons":[{"theta":1.2,"ops_per_sec_steal_off":1,"ops_per_sec_steal_on":2}]}"#;
+
+    #[test]
+    fn layout_rows_invert_ns_probes_and_skip_old_baselines() {
+        let json = r#"{"bench":"serve","config":{"quick":true},"rows":[],"layout":{"shards":2,"words":1024,"uncontended_read_ns":50.0,"uncontended_commit_ns":200.0}}"#;
+        let rows = layout_rows(json);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, "uncontended_read");
+        assert!((rows[0].1 - 2e7).abs() < 1.0);
+        assert_eq!(rows[1].0, "uncontended_commit");
+        assert!((rows[1].1 - 5e6).abs() < 1.0);
+        assert!(layout_rows(SAMPLE).is_empty(), "pre-layout baselines skip");
+    }
+
+    #[test]
+    fn stm_hot_rows_are_labeled_by_layout_and_op() {
+        let json = r#"{"bench":"stm_hot","config":{"quick":true},"rows":[{"layout":"flat","op":"read_txn","ns_per_op":100.0,"ops_per_sec":1e7},{"layout":"shard_major_8","op":"commit_txn","ns_per_op":250.0,"ops_per_sec":4e6}]}"#;
+        let rows = stm_hot_rows(json);
+        assert_eq!(
+            rows,
+            vec![
+                ("flat/read_txn".to_string(), 1e7),
+                ("shard_major_8/commit_txn".to_string(), 4e6),
+            ]
+        );
+    }
 
     #[test]
     fn skew_rows_are_labeled_and_exclude_comparisons() {

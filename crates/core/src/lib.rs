@@ -52,6 +52,7 @@ pub mod profiler;
 pub mod progress;
 pub mod randomized;
 pub mod rng;
+pub mod smallset;
 pub mod trace;
 
 /// Convenient glob-import of the whole public API.
@@ -76,6 +77,7 @@ pub mod prelude {
     pub use crate::progress::{BackoffState, WithBackoff};
     pub use crate::randomized::{Hybrid, RandRa, RandRaMean, RandRw, RandRwMean, RandRwUniform};
     pub use crate::rng::{uniform01, uniform_in, uniform_u64_below, Xoshiro256StarStar};
+    pub use crate::smallset::{InlineVec, KeyFilter};
     pub use crate::trace::{
         HotKeyTable, Trace, TraceCause, TraceConfig, TraceEvent, TraceKind, TraceReport, TraceRing,
         TraceTag,

@@ -1,0 +1,306 @@
+//! Dependency-free inline small collections for transaction-local sets.
+//!
+//! STM read/write sets are tiny for the workloads this repo serves (the
+//! serve mix's largest transaction touches `rmw_span` = 4 words), yet the
+//! previous `Vec`-backed sets paid a heap indirection on every access and
+//! an O(n) pointer-chasing scan on every read-your-writes probe. The
+//! [`InlineVec`] here keeps up to `N` entries directly on the stack (one
+//! or two cache lines for the common `N = 8` × 16–24-byte entries) and
+//! spills to a capacity-retaining heap `Vec` only when a transaction's
+//! footprint exceeds it — after which `clear` returns to inline storage
+//! while keeping the spill allocation for the next large transaction, so
+//! a batch executor still never reallocates at steady state.
+//!
+//! [`KeyFilter`] is the companion micro-index: a 64-bit membership filter
+//! (one hashed bit per inserted key) that turns the common *negative*
+//! read-your-writes probe — most reads are not of words this transaction
+//! wrote — into a single AND instead of a scan. False positives only cost
+//! the scan that would have happened anyway; false negatives are
+//! impossible, which is the correctness contract.
+
+/// A contiguous growable array with inline storage for the first `N`
+/// elements and heap spill beyond. Dereferences to `[T]`, so all slice
+/// operations (sort, binary search, iteration, indexing) apply.
+///
+/// `T: Copy + Default` keeps the implementation trivially safe: the
+/// inline buffer is always fully initialized and moves are plain memcpy.
+#[derive(Debug, Clone)]
+pub struct InlineVec<T, const N: usize> {
+    /// Inline storage; `buf[..len]` are the live elements while not
+    /// spilled.
+    buf: [T; N],
+    /// Live inline length (meaningless once spilled).
+    len: usize,
+    /// Heap spill: holds *all* elements when `spilled`. Retains its
+    /// capacity across `clear`, so spill→inline→spill cycles at a stable
+    /// footprint never reallocate.
+    spill: Vec<T>,
+    spilled: bool,
+}
+
+impl<T: Copy + Default, const N: usize> InlineVec<T, N> {
+    pub fn new() -> Self {
+        Self {
+            buf: [T::default(); N],
+            len: 0,
+            spill: Vec::new(),
+            spilled: false,
+        }
+    }
+
+    /// Number of elements held inline before spilling.
+    pub const fn inline_capacity(&self) -> usize {
+        N
+    }
+
+    /// Whether the elements currently live in the heap spill.
+    pub fn is_spilled(&self) -> bool {
+        self.spilled
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        if self.spilled {
+            self.spill.len()
+        } else {
+            self.len
+        }
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    #[inline]
+    pub fn push(&mut self, v: T) {
+        if self.spilled {
+            self.spill.push(v);
+        } else if self.len < N {
+            self.buf[self.len] = v;
+            self.len += 1;
+        } else {
+            // Spill transition: copy the inline prefix into the retained
+            // heap vec, then append. `spill` is empty here (cleared on
+            // the way back inline) but keeps its old capacity.
+            self.spill.reserve(N + 1);
+            self.spill.extend_from_slice(&self.buf);
+            self.spill.push(v);
+            self.spilled = true;
+        }
+    }
+
+    /// Drop all elements, returning to inline storage. The spill
+    /// allocation is retained.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.len = 0;
+        self.spill.clear();
+        self.spilled = false;
+    }
+
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        if self.spilled {
+            &self.spill
+        } else {
+            &self.buf[..self.len]
+        }
+    }
+
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        if self.spilled {
+            &mut self.spill
+        } else {
+            &mut self.buf[..self.len]
+        }
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Default for InlineVec<T, N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> std::ops::Deref for InlineVec<T, N> {
+    type Target = [T];
+
+    #[inline]
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> std::ops::DerefMut for InlineVec<T, N> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [T] {
+        self.as_mut_slice()
+    }
+}
+
+impl<'a, T: Copy + Default, const N: usize> IntoIterator for &'a InlineVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> FromIterator<T> for InlineVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut v = Self::new();
+        for x in iter {
+            v.push(x);
+        }
+        v
+    }
+}
+
+/// A 64-bit single-hash membership filter over `u64` keys: `insert` sets
+/// one hashed bit, `may_contain` tests it. No false negatives ever; false
+/// positives grow with occupancy (with ≤ 8 keys, ≥ 88% of probes for an
+/// absent key short-circuit). `clear` is one store, so per-attempt reset
+/// is free.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KeyFilter(u64);
+
+/// SplitMix64 finalizer — full-avalanche, so sequential addresses spread
+/// across the 64 filter bits.
+#[inline]
+fn mix(key: u64) -> u64 {
+    let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl KeyFilter {
+    pub fn new() -> Self {
+        Self(0)
+    }
+
+    #[inline]
+    pub fn insert(&mut self, key: u64) {
+        self.0 |= 1u64 << (mix(key) & 63);
+    }
+
+    /// `false` means the key was definitely never inserted; `true` means
+    /// it *may* have been (confirm with the backing set).
+    #[inline]
+    pub fn may_contain(&self, key: u64) -> bool {
+        self.0 & (1u64 << (mix(key) & 63)) != 0
+    }
+
+    #[inline]
+    pub fn clear(&mut self) {
+        self.0 = 0;
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_until_capacity_then_spills_preserving_order() {
+        let mut v: InlineVec<u64, 4> = InlineVec::new();
+        for i in 0..4 {
+            v.push(i);
+            assert!(!v.is_spilled());
+        }
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3]);
+        v.push(4);
+        assert!(v.is_spilled());
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3, 4]);
+        assert_eq!(v.len(), 5);
+    }
+
+    #[test]
+    fn clear_returns_to_inline_and_retains_spill_capacity() {
+        let mut v: InlineVec<u64, 4> = InlineVec::new();
+        for i in 0..32 {
+            v.push(i);
+        }
+        assert!(v.is_spilled());
+        let ptr = v.as_slice().as_ptr();
+        for _ in 0..10 {
+            v.clear();
+            assert!(!v.is_spilled());
+            assert!(v.is_empty());
+            for i in 0..32 {
+                v.push(i);
+            }
+            assert!(v.is_spilled());
+            assert_eq!(
+                v.as_slice().as_ptr(),
+                ptr,
+                "stable-footprint spill must reuse its allocation"
+            );
+        }
+    }
+
+    #[test]
+    fn slice_operations_work_through_deref() {
+        let mut v: InlineVec<(u64, u64), 8> = InlineVec::new();
+        for k in [5u64, 1, 3, 9, 7] {
+            v.push((k, k * 10));
+        }
+        v.sort_unstable_by_key(|e| e.0);
+        assert_eq!(v.iter().map(|e| e.0).collect::<Vec<_>>(), [1, 3, 5, 7, 9]);
+        assert_eq!(v.binary_search_by_key(&7, |e| e.0), Ok(3));
+        assert_eq!(v[0], (1, 10));
+        // Same through a spilled state.
+        for k in 10..20u64 {
+            v.push((k, 0));
+        }
+        assert!(v.is_spilled());
+        v.sort_unstable_by_key(|e| e.0);
+        assert_eq!(v.binary_search_by_key(&19, |e| e.0), Ok(14));
+    }
+
+    #[test]
+    fn take_for_recycling_leaves_a_fresh_empty_set() {
+        let mut v: InlineVec<u64, 2> = InlineVec::new();
+        v.push(1);
+        v.push(2);
+        v.push(3);
+        let taken = std::mem::take(&mut v);
+        assert_eq!(taken.as_slice(), &[1, 2, 3]);
+        assert!(v.is_empty() && !v.is_spilled());
+    }
+
+    #[test]
+    fn key_filter_has_no_false_negatives() {
+        let mut f = KeyFilter::new();
+        for k in 0..200u64 {
+            f.insert(k * 7);
+        }
+        for k in 0..200u64 {
+            assert!(f.may_contain(k * 7), "false negative on {k}");
+        }
+    }
+
+    #[test]
+    fn key_filter_rejects_most_absent_keys_at_small_occupancy() {
+        let mut f = KeyFilter::new();
+        for k in 0..8u64 {
+            f.insert(k);
+        }
+        let false_pos = (1000..11_000u64).filter(|&k| f.may_contain(k)).count();
+        // 8 of 64 bits set → ~12.5% expected false-positive rate.
+        assert!(
+            false_pos < 2_500,
+            "filter rejects too little: {false_pos}/10000"
+        );
+        f.clear();
+        assert!(f.is_empty());
+        assert!(!f.may_contain(3));
+    }
+}

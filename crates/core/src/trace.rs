@@ -340,19 +340,35 @@ impl TraceRing {
     /// whether the event was recorded. Lock-free: a push finishes in a
     /// bounded number of steps unless other producers keep winning the
     /// ticket CAS.
+    ///
+    /// Ordering discipline (Vyukov's original): the per-slot `seq`
+    /// Acquire/Release pair is the *only* publication edge — a consumer
+    /// that Acquire-observes `seq == pos + 1` synchronizes with the
+    /// producer's Release store and sees the payload. The `tail`/`head`
+    /// ticket cursors carry no payload, only position reservation, so
+    /// every access to them is `Relaxed`: a stale cursor read is
+    /// corrected by the slot's own `seq` check (the Greater arm) or by
+    /// the CAS failing.
     pub fn push(&self, ev: TraceEvent) -> bool {
-        let mut tail = self.tail.load(Ordering::SeqCst);
+        // Relaxed: a stale ticket only re-routes us through the seq check.
+        let mut tail = self.tail.load(Ordering::Relaxed);
         loop {
             let slot = &self.slots[(tail & self.mask) as usize];
+            // Acquire: pairs with the consumer's Release store of
+            // `pos + ring_len` — observing a freed slot means its
+            // previous payload was fully read out.
             let seq = slot.seq.load(Ordering::Acquire);
             let dif = (seq as i64).wrapping_sub(tail as i64);
             match dif.cmp(&0) {
                 std::cmp::Ordering::Equal => {
+                    // Relaxed CAS: winning the ticket publishes nothing —
+                    // the payload is published by the Release `seq` store
+                    // below, after the slot is written.
                     match self.tail.compare_exchange_weak(
                         tail,
                         tail.wrapping_add(1),
-                        Ordering::SeqCst,
-                        Ordering::SeqCst,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
                     ) {
                         Ok(_) => {
                             unsafe { (*slot.ev.get()).write(ev) };
@@ -369,25 +385,32 @@ impl TraceRing {
                     return false;
                 }
                 // Another producer lapped us between the loads; refresh.
-                std::cmp::Ordering::Greater => tail = self.tail.load(Ordering::SeqCst),
+                std::cmp::Ordering::Greater => tail = self.tail.load(Ordering::Relaxed),
             }
         }
     }
 
-    /// Claim and take the oldest published event, if any.
+    /// Claim and take the oldest published event, if any. Same ordering
+    /// discipline as [`push`](Self::push): the slot `seq` Acquire load is
+    /// what synchronizes with the producer's publication; the `head`
+    /// cursor is a Relaxed ticket.
     pub fn pop(&self) -> Option<TraceEvent> {
-        let mut head = self.head.load(Ordering::SeqCst);
+        let mut head = self.head.load(Ordering::Relaxed);
         loop {
             let slot = &self.slots[(head & self.mask) as usize];
+            // Acquire: pairs with the producer's Release `seq = pos + 1`
+            // store; observing it makes the payload write visible.
             let seq = slot.seq.load(Ordering::Acquire);
             let dif = (seq as i64).wrapping_sub(head.wrapping_add(1) as i64);
             match dif.cmp(&0) {
                 std::cmp::Ordering::Equal => {
+                    // Relaxed CAS: claiming the position reads the payload
+                    // under the Acquire edge already established above.
                     match self.head.compare_exchange_weak(
                         head,
                         head.wrapping_add(1),
-                        Ordering::SeqCst,
-                        Ordering::SeqCst,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
                     ) {
                         Ok(_) => {
                             let ev = unsafe { (*slot.ev.get()).assume_init_read() };
@@ -401,15 +424,17 @@ impl TraceRing {
                     }
                 }
                 std::cmp::Ordering::Less => return None,
-                std::cmp::Ordering::Greater => head = self.head.load(Ordering::SeqCst),
+                std::cmp::Ordering::Greater => head = self.head.load(Ordering::Relaxed),
             }
         }
     }
 
-    /// Events currently recorded but not yet drained (racy snapshot).
+    /// Events currently recorded but not yet drained (racy snapshot —
+    /// Relaxed loads; the value is advisory and stale by the time the
+    /// caller acts on it regardless of ordering).
     pub fn len(&self) -> usize {
-        let tail = self.tail.load(Ordering::SeqCst);
-        let head = self.head.load(Ordering::SeqCst);
+        let tail = self.tail.load(Ordering::Relaxed);
+        let head = self.head.load(Ordering::Relaxed);
         tail.wrapping_sub(head) as usize
     }
 
@@ -585,7 +610,27 @@ struct ShardTrace {
 /// [`finish`](Trace::finish) after the run.
 pub struct Trace {
     epoch: Instant,
+    /// Raw timebase reading taken together with `epoch` (TSC ticks on
+    /// x86_64, 0 elsewhere): the hot emit path stamps events in raw
+    /// ticks and [`finish`](Trace::finish) converts to nanoseconds once,
+    /// against this pair — one unserialized counter read per event
+    /// instead of a `clock_gettime` call.
+    epoch_ticks: u64,
     shards: Vec<ShardTrace>,
+}
+
+/// Raw timebase read: the TSC on x86_64 (a few ns, vs ~20ns+ for
+/// `Instant::elapsed` through `clock_gettime`), 0 elsewhere so callers
+/// fall back to the epoch-relative `Instant`.
+#[inline]
+fn raw_ticks() -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: `_rdtsc` has no preconditions.
+    unsafe {
+        core::arch::x86_64::_rdtsc()
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    0
 }
 
 impl std::fmt::Debug for Trace {
@@ -602,6 +647,7 @@ impl Trace {
         assert!(shards >= 1, "need at least one shard");
         Self {
             epoch: Instant::now(),
+            epoch_ticks: raw_ticks(),
             shards: (0..shards)
                 .map(|_| ShardTrace {
                     ring: TraceRing::new(cfg.ring_capacity),
@@ -628,8 +674,16 @@ impl Trace {
     /// bump their cause counter — those side tables never drop, so
     /// per-cause totals match the engine counters exactly even when the
     /// ring overflows.
+    ///
+    /// On x86_64 the stamp is raw TSC ticks (converted to ns once per
+    /// session in [`finish`](Trace::finish)); elsewhere it is ns
+    /// directly. Either way `ts_ns` orders consistently within a session.
     pub fn emit(&self, mut ev: TraceEvent) {
-        ev.ts_ns = self.now_ns();
+        ev.ts_ns = if cfg!(target_arch = "x86_64") {
+            raw_ticks().wrapping_sub(self.epoch_ticks)
+        } else {
+            self.now_ns()
+        };
         let st = &self.shards[(ev.shard as usize).min(self.shards.len() - 1)];
         if let Some(i) = ev.cause.abort_index() {
             st.aborts[i].fetch_add(1, Ordering::Relaxed);
@@ -653,7 +707,14 @@ impl Trace {
     /// Drain every ring and snapshot the attribution tables into a
     /// [`TraceReport`]. Events are sorted by timestamp (ties by shard)
     /// so consumers see one global timeline.
+    ///
+    /// Raw-tick stamps (x86_64) are converted to nanoseconds here, in
+    /// one pass, by scaling against the `(Instant, ticks)` epoch pair:
+    /// the session-long ratio is far more accurate than any per-event
+    /// calibration and costs the emit path nothing.
     pub fn finish(&self) -> TraceReport {
+        let elapsed_ns = self.epoch.elapsed().as_nanos() as u64;
+        let elapsed_ticks = raw_ticks().wrapping_sub(self.epoch_ticks);
         let mut events = Vec::new();
         let mut dropped = Vec::with_capacity(self.shards.len());
         let mut aborts = Vec::with_capacity(self.shards.len());
@@ -669,6 +730,13 @@ impl Trace {
             }));
             sheds.push(std::array::from_fn(|i| st.sheds[i].load(Ordering::Relaxed)));
             hot_keys.push(st.hot.top(HOT_SLOTS));
+        }
+        if cfg!(target_arch = "x86_64") && elapsed_ticks > 0 {
+            for ev in &mut events {
+                // u128 arithmetic: ticks * ns never overflows, and the
+                // ratio preserves ordering (monotone scaling).
+                ev.ts_ns = ((ev.ts_ns as u128 * elapsed_ns as u128) / elapsed_ticks as u128) as u64;
+            }
         }
         events.sort_by_key(|e| (e.ts_ns, e.shard));
         TraceReport {

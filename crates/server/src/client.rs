@@ -22,7 +22,6 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use rand::RngCore;
 use tcp_core::engine::EngineStats;
 use tcp_core::rng::{uniform01, uniform_u64_below, Xoshiro256StarStar};
 use tcp_workloads::dist::Zipf;
@@ -51,7 +50,7 @@ impl KeyPicker {
         }
     }
 
-    pub fn draw(&self, rng: &mut dyn RngCore) -> Key {
+    pub fn draw(&self, rng: &mut Xoshiro256StarStar) -> Key {
         match self {
             KeyPicker::Uniform(n) => uniform_u64_below(rng, *n),
             KeyPicker::Zipf(z) => z.sample(rng) as Key,
@@ -89,7 +88,7 @@ impl RequestGen {
 
     /// Draw one request. Writes are increments (`delta = 1`) so the final
     /// heap state is independent of request interleaving.
-    pub fn draw(&self, rng: &mut dyn RngCore) -> Request {
+    pub fn draw(&self, rng: &mut Xoshiro256StarStar) -> Request {
         if uniform01(rng) < self.rmw_fraction {
             let keys: Vec<Key> = (0..self.rmw_span).map(|_| self.picker.draw(rng)).collect();
             Request::Rmw { keys, delta: 1 }
@@ -190,7 +189,7 @@ pub fn draw_schedule(
     gen: &RequestGen,
     ops: u64,
     rate_per_sec: f64,
-    rng: &mut dyn RngCore,
+    rng: &mut Xoshiro256StarStar,
 ) -> Vec<Arrival> {
     let mean_gap_ns = 1e9 / rate_per_sec;
     let mut at_ns = 0u64;

@@ -111,7 +111,7 @@ pub fn run_executor<P: GracePolicy>(
     queues: &[Arc<ShardQueue>],
     cfg: &ExecutorConfig,
 ) -> EngineStats {
-    let mut ctx = TxCtx::new(stm, cfg.shard, policy, Box::new(rng));
+    let mut ctx = TxCtx::new(stm, cfg.shard, policy, rng);
     ctx.stats.interval_ns = cfg.stats_interval_ns;
     if let Some(t) = &cfg.trace {
         ctx.set_trace(Arc::clone(t));
@@ -1017,7 +1017,7 @@ mod tests {
             &stm,
             0,
             NoDelay::requestor_aborts(),
-            Box::new(Xoshiro256StarStar::new(7)),
+            Xoshiro256StarStar::new(7),
         );
         assert_eq!(
             execute(&mut ctx, &Request::Put(2, 40), 0),

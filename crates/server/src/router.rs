@@ -241,6 +241,36 @@ mod tests {
     }
 
     #[test]
+    fn submit_clones_the_reply_arc_exactly_once() {
+        // The submit path performs exactly ONE `Arc<ReplyCell>` clone per
+        // admitted request — the envelope's — and none at all for shed
+        // requests (well-formedness, SLO, and capacity checks all run
+        // before the clone). The executor replies through the envelope's
+        // Arc without further clones, so refcount traffic per request is
+        // one increment on admit and one decrement on envelope drop.
+        let router = Router::new(1, 1);
+        let reply = Arc::new(ReplyCell::new());
+        assert_eq!(Arc::strong_count(&reply), 1);
+        router.submit(Request::Get(0), &reply, 1).unwrap();
+        assert_eq!(
+            Arc::strong_count(&reply),
+            2,
+            "admission must cost exactly one clone"
+        );
+        // A shed (capacity: ring of 1 is full) must not touch the count.
+        assert!(router.submit(Request::Get(1), &reply, 2).is_err());
+        assert_eq!(
+            Arc::strong_count(&reply),
+            2,
+            "shed requests must not clone the reply cell"
+        );
+        // Consuming the envelope returns the count to the caller's ref.
+        let env = router.queue(0).pop().unwrap();
+        drop(env);
+        assert_eq!(Arc::strong_count(&reply), 1);
+    }
+
+    #[test]
     fn shed_returns_the_request_and_cause_to_the_caller() {
         let router = Router::new(1, 2);
         let reply = Arc::new(ReplyCell::new());

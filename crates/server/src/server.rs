@@ -99,7 +99,9 @@ where
 {
     cfg.validate();
     let mode = policy.mode(&Conflict::pair(1000.0));
-    let stm = Stm::with_mode(cfg.keys as usize, cfg.shards, mode);
+    // Shard-major heap layout: each executor's keys occupy contiguous,
+    // exclusively-owned cache lines, so shards never false-share.
+    let stm = Stm::with_layout(cfg.keys as usize, cfg.shards, cfg.shards, mode);
     let trace = cfg
         .trace
         .enabled

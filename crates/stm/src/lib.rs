@@ -23,7 +23,7 @@
 //! use tcp_core::rng::Xoshiro256StarStar;
 //!
 //! let stm = Stm::new(16, 1);
-//! let mut ctx = TxCtx::new(&stm, 0, RandRa, Box::new(Xoshiro256StarStar::new(1)));
+//! let mut ctx = TxCtx::new(&stm, 0, RandRa, Xoshiro256StarStar::new(1));
 //! let sum = ctx.run(|tx| {
 //!     tx.write(0, 40)?;
 //!     let v = tx.read(0)?;
@@ -40,8 +40,8 @@ pub mod throughput;
 pub mod prelude {
     pub use crate::lockfree::{MsQueue, TreiberStack};
     pub use crate::runtime::{
-        Abort, Addr, GroupCommit, MemberOutcome, PreparedTx, SnapshotMiss, SnapshotTx, Stm, Tx,
-        TxCtx, WriteEntry, WriteOp,
+        Abort, Addr, GroupCommit, MemberOutcome, PreparedTx, ShardLayout, SnapshotMiss, SnapshotTx,
+        Stm, Tx, TxCtx, WriteEntry, WriteOp, PAIRS_PER_LINE,
     };
     pub use crate::structures::{TMap, TQueue, TStack};
     pub use crate::throughput::{

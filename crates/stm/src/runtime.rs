@@ -34,15 +34,28 @@
 //! usual; observable state is independent of how transactions were
 //! grouped (groups serialize in batch order, folded increments resolve
 //! their per-member values in that same order).
+//!
+//! **Memory layout** (see the README's "Memory layout" section for the
+//! full diagram): the heap is a structure-of-arrays. The *hot* array
+//! holds cache-line-aligned [`HotLine`]s of four `(meta, value)` pairs
+//! each — everything the read/validate/publish fast paths touch — laid
+//! out **shard-major** through a bijective [`ShardLayout`] `key → slot`
+//! mapping, so one shard's words are contiguous and never share a cache
+//! line with another shard's (no false sharing between shard executors).
+//! The *cold* array holds `chain_head` + the bounded MVCC chains, which
+//! only publishes and snapshot readers touch. Atomic orderings follow
+//! the seqlock / PUBLISH_BIT protocols; every load/store below is
+//! annotated with the invariant its ordering preserves.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use rand::RngCore;
 use tcp_core::conflict::ResolutionMode;
 use tcp_core::engine::{AbortKind, ConflictArbiter, EngineStats};
 use tcp_core::policy::GracePolicy;
+use tcp_core::rng::Xoshiro256StarStar;
+use tcp_core::smallset::{InlineVec, KeyFilter};
 use tcp_core::trace::{Trace, TraceEvent, TraceKind, TraceTag};
 
 /// Word addresses within an [`Stm`] heap.
@@ -111,43 +124,171 @@ fn version_of(meta: u64) -> u64 {
     meta & VERSION_MASK
 }
 
-struct Cell {
-    /// Version + lock bit + owner id.
+/// Hot `(meta, value)` pairs per cache line: 2 × 8 bytes each, four to a
+/// 64-byte line.
+pub const PAIRS_PER_LINE: usize = 4;
+
+/// One hot word: version + lock bit + owner id, and the value. 16 bytes;
+/// the read / validate / publish fast paths touch nothing else.
+struct HotPair {
     meta: AtomicU64,
     value: AtomicU64,
+}
+
+impl HotPair {
+    fn new() -> Self {
+        Self {
+            meta: AtomicU64::new(0),
+            value: AtomicU64::new(0),
+        }
+    }
+}
+
+/// One cache line of the hot array. The alignment + size pin (asserted
+/// below) is what makes [`ShardLayout`]'s line-granular shard segments a
+/// no-false-sharing guarantee rather than a hope.
+#[repr(C, align(64))]
+struct HotLine {
+    pairs: [HotPair; PAIRS_PER_LINE],
+}
+
+impl HotLine {
+    fn new() -> Self {
+        Self {
+            pairs: std::array::from_fn(|_| HotPair::new()),
+        }
+    }
+}
+
+// Layout pins: a HotLine is exactly one 64-byte cache line. If HotPair
+// ever grows, PAIRS_PER_LINE must shrink with it — fail the build, not
+// the benchmark.
+const _: () = assert!(std::mem::size_of::<HotLine>() == 64);
+const _: () = assert!(std::mem::align_of::<HotLine>() == 64);
+const _: () = assert!(std::mem::size_of::<HotPair>() * PAIRS_PER_LINE == 64);
+
+/// The cold per-word state: everything only publishes and snapshot
+/// readers touch. Kept out of the hot array so commit-path cache misses
+/// are one line per word, not two.
+struct ColdCell {
     /// Monotone count of chain pushes; the newest entry lives at slot
     /// `(chain_head - 1) % CHAIN_LEN`. Zero means "never written": the
     /// word has held its version-0 zero since the heap was built.
     chain_head: AtomicU64,
     /// Bounded MVCC version chain, a ring of `(version, value)` pairs.
-    /// Written only by the cell's lock holder (publish) or under test
+    /// Written only by the word's lock holder (publish) or under test
     /// quiescence ([`Stm::write_direct`]); read lock-free by snapshot
     /// readers via a per-slot seqlock (`u64::MAX` = mid-write sentinel,
     /// never a real version — versions fit [`VERSION_MASK`]).
     chain: [(AtomicU64, AtomicU64); CHAIN_LEN],
 }
 
-impl Cell {
+impl ColdCell {
     fn new() -> Self {
         Self {
-            meta: AtomicU64::new(0),
-            value: AtomicU64::new(0),
             chain_head: AtomicU64::new(0),
             chain: std::array::from_fn(|_| (AtomicU64::new(u64::MAX), AtomicU64::new(0))),
         }
     }
 
-    /// Append `(ver, val)` to the version chain. Single-writer (callers
-    /// hold the cell's write lock or run quiesced); the sentinel store
-    /// makes the overwritten slot detectably torn for concurrent
-    /// readers.
+    /// Append `(ver, val)` to the version chain. Single-writer: callers
+    /// hold the word's write lock or run quiesced, and successive lock
+    /// holders are ordered by the meta Release-store → CAS-Acquire
+    /// handoff, so every load here may be Relaxed with respect to other
+    /// *writers*. The store sequence is the per-slot seqlock protocol
+    /// for concurrent *readers*:
+    ///
+    /// 1. sentinel (`u64::MAX`) into the version word — marks the slot
+    ///    torn for any reader mid-scan;
+    /// 2. the value, `Release` — orders the sentinel before it, so a
+    ///    reader that Acquire-loads the new value must also see the
+    ///    sentinel (or the final version) on its recheck, never the
+    ///    stale version paired with the new value;
+    /// 3. the real version, `Release` — publishes the value to readers
+    ///    that Acquire-load the version word;
+    /// 4. `chain_head + 1`, `Release` — publishes the completed entry to
+    ///    chain scanners that Acquire-load the head.
     fn push_chain(&self, ver: u64, val: u64) {
-        let h = self.chain_head.load(Ordering::SeqCst);
+        // Relaxed: single-writer; the previous holder's store is visible
+        // via the lock handoff described above.
+        let h = self.chain_head.load(Ordering::Relaxed);
         let slot = &self.chain[(h as usize) % CHAIN_LEN];
-        slot.0.store(u64::MAX, Ordering::SeqCst);
-        slot.1.store(val, Ordering::SeqCst);
-        slot.0.store(ver, Ordering::SeqCst);
-        self.chain_head.store(h + 1, Ordering::SeqCst);
+        slot.0.store(u64::MAX, Ordering::Relaxed);
+        slot.1.store(val, Ordering::Release);
+        slot.0.store(ver, Ordering::Release);
+        self.chain_head.store(h + 1, Ordering::Release);
+    }
+}
+
+/// The bijective shard-major `key → slot` mapping of the hot array.
+///
+/// Keys are routed to shards as `key % shards` (the router's rule); the
+/// layout gives each shard a *contiguous segment* of slots, padded up to
+/// whole [`PAIRS_PER_LINE`]-pair cache lines, and places key `k` at
+/// `base[k % shards] + k / shards`. Within a shard the quotients
+/// `k / shards` are distinct and dense, segments are disjoint by
+/// construction, so the mapping is a bijection onto per-shard ranges —
+/// property-tested in `tests/properties.rs`. The padding means two
+/// different shards' words can never share a cache line: a publish on
+/// shard A never invalidates a line shard B is reading.
+#[derive(Clone, Debug)]
+pub struct ShardLayout {
+    shards: usize,
+    words: usize,
+    /// First slot of each shard's segment; each base is line-aligned.
+    base: Vec<usize>,
+    /// Total padded slots (the hot/cold array length).
+    slots: usize,
+}
+
+impl ShardLayout {
+    pub fn new(words: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let mut base = Vec::with_capacity(shards);
+        let mut acc = 0usize;
+        for s in 0..shards {
+            base.push(acc);
+            // Keys with k % shards == s, i.e. k in {s, s+shards, ...} ∩ [0, words).
+            let count = if words > s {
+                (words - s).div_ceil(shards)
+            } else {
+                0
+            };
+            // Pad the segment to whole cache lines so the next shard
+            // starts on a fresh line.
+            acc += count.div_ceil(PAIRS_PER_LINE) * PAIRS_PER_LINE;
+        }
+        Self {
+            shards,
+            words,
+            base,
+            slots: acc,
+        }
+    }
+
+    /// The slot of key `k` (bijective over `0..words()`).
+    #[inline]
+    pub fn slot(&self, k: Addr) -> usize {
+        debug_assert!(k < self.words);
+        self.base[k % self.shards] + k / self.shards
+    }
+
+    /// Total slots including line padding (≥ `words()`).
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The cache line a slot lives on (for the no-sharing property test).
+    pub fn line_of_slot(slot: usize) -> usize {
+        slot / PAIRS_PER_LINE
     }
 }
 
@@ -157,9 +298,14 @@ impl Cell {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SnapshotMiss;
 
-/// The shared STM heap plus runtime state.
+/// The shared STM heap plus runtime state: the SoA hot/cold arrays and
+/// the shard-major layout mapping keys into them.
 pub struct Stm {
-    cells: Vec<Cell>,
+    /// Cache-line-aligned hot `(meta, value)` pairs, shard-major.
+    hot: Vec<HotLine>,
+    /// MVCC chains, indexed by the same slot as the hot pair.
+    cold: Vec<ColdCell>,
+    layout: ShardLayout,
     clock: AtomicU64,
     /// Remote-abort flags, one per registered thread (requestor-wins).
     kill_flags: Vec<AtomicBool>,
@@ -169,56 +315,97 @@ pub struct Stm {
 
 impl Stm {
     /// A heap of `words` zero-initialized words supporting up to
-    /// `max_threads` concurrent transaction contexts.
+    /// `max_threads` concurrent transaction contexts, laid out as a
+    /// single shard (adjacent keys pack densely).
     pub fn new(words: usize, max_threads: usize) -> Self {
+        Self::with_layout(words, max_threads, 1, ResolutionMode::RequestorAborts)
+    }
+
+    pub fn with_mode(words: usize, max_threads: usize, mode: ResolutionMode) -> Self {
+        Self::with_layout(words, max_threads, 1, mode)
+    }
+
+    /// A heap laid out shard-major for `shards` shards (router rule
+    /// `key % shards`): each shard's words occupy their own contiguous,
+    /// line-padded slot range, so no cache line is shared across shards.
+    pub fn with_layout(
+        words: usize,
+        max_threads: usize,
+        shards: usize,
+        mode: ResolutionMode,
+    ) -> Self {
         assert!(
             max_threads <= MAX_OWNER + 1,
             "thread ids must pack into the owner field"
         );
+        let layout = ShardLayout::new(words, shards);
+        let lines = layout.slots().div_ceil(PAIRS_PER_LINE);
         Self {
-            cells: (0..words).map(|_| Cell::new()).collect(),
+            hot: (0..lines).map(|_| HotLine::new()).collect(),
+            cold: (0..layout.slots()).map(|_| ColdCell::new()).collect(),
+            layout,
             clock: AtomicU64::new(0),
             kill_flags: (0..max_threads).map(|_| AtomicBool::new(false)).collect(),
-            mode: ResolutionMode::RequestorAborts,
+            mode,
         }
     }
 
-    pub fn with_mode(words: usize, max_threads: usize, mode: ResolutionMode) -> Self {
-        Self {
-            mode,
-            ..Self::new(words, max_threads)
-        }
+    /// The hot pair of key `a`.
+    #[inline]
+    fn pair(&self, a: Addr) -> &HotPair {
+        let slot = self.layout.slot(a);
+        &self.hot[slot / PAIRS_PER_LINE].pairs[slot % PAIRS_PER_LINE]
+    }
+
+    /// The hot pair and cold cell of key `a` (one slot computation).
+    #[inline]
+    fn parts(&self, a: Addr) -> (&HotPair, &ColdCell) {
+        let slot = self.layout.slot(a);
+        (
+            &self.hot[slot / PAIRS_PER_LINE].pairs[slot % PAIRS_PER_LINE],
+            &self.cold[slot],
+        )
+    }
+
+    /// The key → slot layout this heap was built with.
+    pub fn layout(&self) -> &ShardLayout {
+        &self.layout
     }
 
     pub fn len(&self) -> usize {
-        self.cells.len()
+        self.layout.words()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.cells.is_empty()
+        self.len() == 0
     }
 
     /// Non-transactional read (only safe when no transaction is running,
-    /// e.g. to inspect final state in tests).
+    /// e.g. to inspect final state in tests). Acquire pairs with the
+    /// publisher's Release value store; callers additionally quiesce
+    /// (thread join), which is the real ordering here.
     pub fn read_direct(&self, a: Addr) -> u64 {
-        self.cells[a].value.load(Ordering::SeqCst)
+        self.pair(a).value.load(Ordering::Acquire)
     }
 
     /// Non-transactional write (test setup only). Mirrors the value into
     /// the version chain at the word's current version so snapshot reads
-    /// see pre-seeded state.
+    /// see pre-seeded state. Release mirrors the transactional publish
+    /// protocol, though callers run quiesced by contract.
     pub fn write_direct(&self, a: Addr, v: u64) {
-        let cell = &self.cells[a];
-        cell.value.store(v, Ordering::SeqCst);
-        let ver = version_of(cell.meta.load(Ordering::SeqCst));
-        cell.push_chain(ver, v);
+        let (pair, cold) = self.parts(a);
+        pair.value.store(v, Ordering::Release);
+        let ver = version_of(pair.meta.load(Ordering::Acquire));
+        cold.push_chain(ver, v);
     }
 
     /// Current value of the global version clock — equivalently, the
     /// number of clock bumps (write publishes) so far. Group commit exists
-    /// to make this grow *slower* than the commit count.
+    /// to make this grow *slower* than the commit count. Acquire: pairs
+    /// with committers' AcqRel bumps, so state published at the returned
+    /// clock value is visible.
     pub fn clock_value(&self) -> u64 {
-        self.clock.load(Ordering::SeqCst)
+        self.clock.load(Ordering::Acquire)
     }
 
     /// Number of transaction contexts this heap supports (the size of the
@@ -227,13 +414,11 @@ impl Stm {
         self.kill_flags.len()
     }
 
-    /// Non-transactional snapshot of every word (only meaningful once all
-    /// transactions have quiesced — end-of-run state inspection).
+    /// Non-transactional snapshot of every word in key order (only
+    /// meaningful once all transactions have quiesced — end-of-run state
+    /// inspection; checksums depend on this staying key-ordered).
     pub fn snapshot_direct(&self) -> Vec<u64> {
-        self.cells
-            .iter()
-            .map(|c| c.value.load(Ordering::SeqCst))
-            .collect()
+        (0..self.len()).map(|a| self.read_direct(a)).collect()
     }
 
     /// MVCC read of word `a` at snapshot `rv`: the value of the newest
@@ -249,14 +434,25 @@ impl Stm {
     /// published version) is the authority. Unlocked-but-newer means the
     /// same thing directly.
     fn snapshot_cell(&self, a: Addr, rv: u64) -> Result<u64, SnapshotMiss> {
-        let cell = &self.cells[a];
+        let (pair, cold) = self.parts(a);
         loop {
-            let m1 = cell.meta.load(Ordering::SeqCst);
+            // Acquire: pairs with the publisher's final Release meta
+            // store, so observing version m1 makes the value stored for
+            // m1 visible to the load below.
+            let m1 = pair.meta.load(Ordering::Acquire);
             if !is_locked(m1) && version_of(m1) <= rv {
                 // Fast path: the current value is within the snapshot.
                 // Classic TL2 double-check against a concurrent locker.
-                let v = cell.value.load(Ordering::SeqCst);
-                if cell.meta.load(Ordering::SeqCst) == m1 {
+                // Acquire on the value: (a) the m2 load below cannot be
+                // hoisted above it, and (b) if it returns a value stored
+                // by an in-flight publisher, it synchronizes with that
+                // Release store, making the publisher's earlier locked
+                // meta visible — so m2 must differ from m1 and the torn
+                // read is detected.
+                let v = pair.value.load(Ordering::Acquire);
+                // Relaxed: ordered after the value load by its Acquire;
+                // only meta's own coherence (compare with m1) matters.
+                if pair.meta.load(Ordering::Relaxed) == m1 {
                     return Ok(v);
                 }
                 continue;
@@ -268,8 +464,10 @@ impl Stm {
                 std::hint::spin_loop();
                 continue;
             }
-            // The value we need is a published prior version.
-            let h = cell.chain_head.load(Ordering::SeqCst);
+            // The value we need is a published prior version. Acquire:
+            // pairs with push_chain's Release head store, so entries
+            // < h are fully written before we scan them.
+            let h = cold.chain_head.load(Ordering::Acquire);
             if h == 0 {
                 // Never written: version-0 zero is within any snapshot.
                 return Ok(0);
@@ -278,11 +476,19 @@ impl Stm {
             let mut push = h;
             let mut torn = false;
             while push > oldest {
-                let slot = &cell.chain[((push - 1) as usize) % CHAIN_LEN];
-                let v1 = slot.0.load(Ordering::SeqCst);
-                let val = slot.1.load(Ordering::SeqCst);
-                let v2 = slot.0.load(Ordering::SeqCst);
-                if v1 == u64::MAX || v1 != v2 || cell.chain_head.load(Ordering::SeqCst) != h {
+                let slot = &cold.chain[((push - 1) as usize) % CHAIN_LEN];
+                // Per-slot seqlock read. v1 Acquire pairs with the
+                // writer's Release version store (value visible when v1
+                // is real); val Acquire orders the two recheck loads
+                // after it AND, when it returns a mid-push value,
+                // makes the writer's sentinel visible to the v2 load —
+                // a new value can never be paired with the stale
+                // version. v2/head Relaxed: coherence-only rechecks,
+                // ordered by val's Acquire.
+                let v1 = slot.0.load(Ordering::Acquire);
+                let val = slot.1.load(Ordering::Acquire);
+                let v2 = slot.0.load(Ordering::Relaxed);
+                if v1 == u64::MAX || v1 != v2 || cold.chain_head.load(Ordering::Relaxed) != h {
                     torn = true; // raced a writer's push; rescan from meta
                     break;
                 }
@@ -307,10 +513,11 @@ impl Stm {
 }
 
 /// What kind of write a [`WriteEntry`] buffers.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum WriteOp {
     /// Absolute store: publishes `val`, conflicts with any other write to
     /// the same word.
+    #[default]
     Set,
     /// Commutative increment by `delta`: group commit folds concurrent
     /// `Add`s on the same word into one publish.
@@ -318,8 +525,10 @@ pub enum WriteOp {
 }
 
 /// One buffered write. Entries are unique per address within a
-/// transaction (later writes update the entry in place).
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// transaction (later writes update the entry in place). `Copy +
+/// Default` so write sets fit [`InlineVec`]'s always-initialized inline
+/// storage.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct WriteEntry {
     pub addr: Addr,
     pub op: WriteOp,
@@ -346,17 +555,33 @@ enum LockFail {
 /// over the slot's writers). Returns the pre-lock meta for the restore
 /// table.
 fn lock_cell(stm: &Stm, a: Addr, owner: usize, max_version: u64) -> Result<u64, LockFail> {
+    let pair = stm.pair(a);
     loop {
-        let meta = stm.cells[a].meta.load(Ordering::SeqCst);
+        // Relaxed screening load: the CAS below is the authoritative
+        // read (it fails if meta moved), so this load only routes us to
+        // the right arm; Busy/Stale verdicts on a concurrently moving
+        // meta are inherently racy at any ordering and the caller
+        // (contend / abort) re-examines.
+        let meta = pair.meta.load(Ordering::Relaxed);
         if is_locked(meta) {
             return Err(LockFail::Busy(meta));
         }
         if version_of(meta) > max_version {
             return Err(LockFail::Stale);
         }
-        if stm.cells[a]
+        // Acquire on success: pairs with the previous owner's Release
+        // meta store (publish or unlock-restore), making its value and
+        // chain writes visible to this lock holder — the group publish
+        // reads `value` under the lock relying on exactly this edge.
+        // Relaxed on failure: we just re-examine.
+        if pair
             .meta
-            .compare_exchange(meta, pack_locked(owner), Ordering::SeqCst, Ordering::SeqCst)
+            .compare_exchange(
+                meta,
+                pack_locked(owner),
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            )
             .is_ok()
         {
             return Ok(meta);
@@ -378,7 +603,11 @@ fn validate_read(
     rv: u64,
     prelock: impl Fn(Addr) -> Option<u64>,
 ) -> bool {
-    let m = stm.cells[a].meta.load(Ordering::SeqCst);
+    // Acquire: pairs with writers' Release meta stores, so a meta equal
+    // to m1 proves no publish completed on this word since the read —
+    // the TL2 phase-2 invariant that the value read earlier still
+    // belongs to version m1.
+    let m = stm.pair(a).meta.load(Ordering::Acquire);
     if is_locked(m) {
         owner_of(m) == owner && matches!(prelock(a), Some(pm) if version_of(pm) <= rv)
     } else {
@@ -386,25 +615,42 @@ fn validate_read(
     }
 }
 
+/// Inline capacity of the transaction-local sets: the serve workloads'
+/// largest transaction touches `rmw_span` (default 4) words, so 8 keeps
+/// every standard read/write set on the stack; bigger transactions spill
+/// to a capacity-retaining heap vec.
+const INLINE_SET: usize = 8;
+
+/// A transaction's read set: `(addr, observed meta)` pairs.
+type ReadSet = InlineVec<(Addr, u64), INLINE_SET>;
+/// A transaction's buffered writes (unique per address).
+type WriteSet = InlineVec<WriteEntry, INLINE_SET>;
+/// Pre-lock meta words, parallel to the sorted write set's prefix.
+type MetaSet = InlineVec<u64, INLINE_SET>;
+
 /// Per-thread transaction execution context.
 pub struct TxCtx<'s, P: GracePolicy> {
     stm: &'s Stm,
     pub id: usize,
     /// The shared engine-layer consultation loop: policy + §7 backoff.
     pub arbiter: ConflictArbiter<P>,
-    rng: Box<dyn RngCore + Send>,
+    /// Concrete (devirtualized) PRNG: grace-period sampling makes no
+    /// virtual calls and the generator sits inline in the context, not
+    /// behind a `Box<dyn RngCore>` pointer chase.
+    rng: Xoshiro256StarStar,
     pub stats: EngineStats,
     /// Fixed component of the abort cost, in nanoseconds (models the
     /// restart overhead; the elapsed running time is added per conflict).
     pub cleanup_ns: f64,
-    /// Recycled read-set allocation, handed to each transaction attempt and
-    /// reclaimed afterwards so batch executors serving many short
-    /// transactions per context never reallocate the hot-path sets.
-    read_buf: Vec<(Addr, u64)>,
-    /// Recycled write-set allocation (same lifecycle as `read_buf`).
-    write_buf: Vec<WriteEntry>,
+    /// Recycled read set, handed to each transaction attempt and
+    /// reclaimed afterwards; inline up to [`INLINE_SET`] entries, and the
+    /// heap spill of larger footprints is retained across transactions so
+    /// batch executors never reallocate the hot-path sets.
+    read_buf: ReadSet,
+    /// Recycled write set (same lifecycle as `read_buf`).
+    write_buf: WriteSet,
     /// Recycled pre-lock meta table for the commit's acquire phase.
-    restore_buf: Vec<u64>,
+    restore_buf: MetaSet,
     /// Lifecycle trace sink, when tracing is enabled for the run. `None`
     /// keeps every emission point a single never-taken branch.
     trace: Option<Arc<Trace>>,
@@ -422,8 +668,12 @@ pub struct Tx<'c, 's, P: GracePolicy> {
     ctx: &'c mut TxCtx<'s, P>,
     rv: u64,
     start: Instant,
-    reads: Vec<(Addr, u64)>,
-    writes: Vec<WriteEntry>,
+    reads: ReadSet,
+    writes: WriteSet,
+    /// Membership filter over `writes`' addresses: the read-your-writes
+    /// probe — almost always negative — short-circuits on one AND
+    /// instead of scanning the write set.
+    wfilter: KeyFilter,
 }
 
 /// The view a read-only snapshot body gets: MVCC reads at one fixed
@@ -454,7 +704,7 @@ impl SnapshotTx<'_> {
 }
 
 impl<'s, P: GracePolicy> TxCtx<'s, P> {
-    pub fn new(stm: &'s Stm, id: usize, policy: P, rng: Box<dyn RngCore + Send>) -> Self {
+    pub fn new(stm: &'s Stm, id: usize, policy: P, rng: Xoshiro256StarStar) -> Self {
         assert!(id < stm.kill_flags.len(), "thread id beyond max_threads");
         Self {
             stm,
@@ -463,9 +713,9 @@ impl<'s, P: GracePolicy> TxCtx<'s, P> {
             rng,
             stats: EngineStats::default(),
             cleanup_ns: 500.0,
-            read_buf: Vec::with_capacity(8),
-            write_buf: Vec::with_capacity(8),
-            restore_buf: Vec::with_capacity(8),
+            read_buf: ReadSet::new(),
+            write_buf: WriteSet::new(),
+            restore_buf: MetaSet::new(),
             trace: None,
             trace_tag: TraceTag::default(),
             last_grace_ns: 0,
@@ -510,8 +760,15 @@ impl<'s, P: GracePolicy> TxCtx<'s, P> {
     /// result.
     pub fn run<T>(&mut self, mut body: impl FnMut(&mut Tx<'_, 's, P>) -> Result<T, Abort>) -> T {
         loop {
-            self.stm.kill_flags[self.id].store(false, Ordering::SeqCst);
-            let rv = self.stm.clock.load(Ordering::SeqCst);
+            // Relaxed: clearing our own advisory kill flag; a contender's
+            // racing store is indistinguishable from one landing a moment
+            // later, and either just costs one benign retry.
+            self.stm.kill_flags[self.id].store(false, Ordering::Relaxed);
+            // Acquire: pairs with committers' AcqRel clock bumps, so
+            // every publish at a version ≤ rv happens-before this
+            // attempt — reads validated against rv observe fully
+            // published state.
+            let rv = self.stm.clock.load(Ordering::Acquire);
             let mut reads = std::mem::take(&mut self.read_buf);
             let mut writes = std::mem::take(&mut self.write_buf);
             reads.clear();
@@ -522,6 +779,7 @@ impl<'s, P: GracePolicy> TxCtx<'s, P> {
                 start: Instant::now(),
                 reads,
                 writes,
+                wfilter: KeyFilter::new(),
             };
             let outcome = body(&mut tx).and_then(|v| tx.commit().map(|_| v));
             // Reclaim the set allocations for the next transaction (the
@@ -566,7 +824,11 @@ impl<'s, P: GracePolicy> TxCtx<'s, P> {
         mut body: impl FnMut(&mut SnapshotTx<'s>) -> Result<T, SnapshotMiss>,
     ) -> T {
         loop {
-            let rv = self.stm.clock.load(Ordering::SeqCst);
+            // Acquire: same edge as `run` — publishes at versions ≤ rv
+            // are visible, and the PUBLISH_BIT inference in
+            // `snapshot_cell` (flagless lock ⇒ pending version > rv)
+            // relies on this sample synchronizing with each bump.
+            let rv = self.stm.clock.load(Ordering::Acquire);
             let mut snap = SnapshotTx {
                 stm: self.stm,
                 rv,
@@ -601,8 +863,9 @@ impl<'s, P: GracePolicy> TxCtx<'s, P> {
         prep: &mut PreparedTx,
         body: impl FnOnce(&mut Tx<'_, 's, P>) -> Result<T, Abort>,
     ) -> Result<T, Abort> {
-        self.stm.kill_flags[self.id].store(false, Ordering::SeqCst);
-        let rv = self.stm.clock.load(Ordering::SeqCst);
+        // Same orderings as `run` (see there).
+        self.stm.kill_flags[self.id].store(false, Ordering::Relaxed);
+        let rv = self.stm.clock.load(Ordering::Acquire);
         prep.reads.clear();
         prep.writes.clear();
         prep.rv = rv;
@@ -612,6 +875,7 @@ impl<'s, P: GracePolicy> TxCtx<'s, P> {
             start: Instant::now(),
             reads: std::mem::take(&mut prep.reads),
             writes: std::mem::take(&mut prep.writes),
+            wfilter: KeyFilter::new(),
         };
         let out = body(&mut tx);
         let Tx { reads, writes, .. } = tx;
@@ -623,7 +887,11 @@ impl<'s, P: GracePolicy> TxCtx<'s, P> {
 
 impl<'s, P: GracePolicy> Tx<'_, 's, P> {
     fn killed(&self) -> bool {
-        self.ctx.stm.kill_flags[self.ctx.id].load(Ordering::SeqCst)
+        // Relaxed: the flag is advisory (carries no data); coherence
+        // guarantees a contender's store becomes visible to this
+        // periodically-polled load in finite time, and the abort path's
+        // Release lock restores carry the actual ordering.
+        self.ctx.stm.kill_flags[self.ctx.id].load(Ordering::Relaxed)
     }
 
     /// Elapsed running time of this attempt, in nanoseconds.
@@ -656,7 +924,10 @@ impl<'s, P: GracePolicy> Tx<'_, 's, P> {
         let deadline = self.start.elapsed().as_nanos() as f64 + decision.grace;
         let wait_start = Instant::now();
         loop {
-            let meta = stm.cells[a].meta.load(Ordering::SeqCst);
+            // Relaxed spin: we only watch for the lock bit to drop; the
+            // caller's retried access performs its own Acquire load, so
+            // no data is consumed under this ordering.
+            let meta = stm.pair(a).meta.load(Ordering::Relaxed);
             if !is_locked(meta) {
                 self.ctx.stats.wait_cycles += wait_start.elapsed().as_nanos() as u64;
                 return Ok(());
@@ -672,11 +943,13 @@ impl<'s, P: GracePolicy> Tx<'_, 's, P> {
                     ResolutionMode::RequestorWins => {
                         // Flag the owner; it self-aborts at its next safe
                         // point and releases its locks. Spin for release.
+                        // Relaxed: advisory flag (see `killed`).
                         stm.kill_flags[owner_of(meta).min(stm.kill_flags.len() - 1)]
-                            .store(true, Ordering::SeqCst);
+                            .store(true, Ordering::Relaxed);
                         let _ = owner;
                         loop {
-                            let m = stm.cells[a].meta.load(Ordering::SeqCst);
+                            // Relaxed spin, as above.
+                            let m = stm.pair(a).meta.load(Ordering::Relaxed);
                             if !is_locked(m) {
                                 return Ok(());
                             }
@@ -697,18 +970,33 @@ impl<'s, P: GracePolicy> Tx<'_, 's, P> {
         if self.killed() {
             return Err(Abort::RemoteKill);
         }
-        // Read-your-writes (entries are unique per address).
-        if let Some(e) = self.writes.iter().find(|e| e.addr == a) {
-            return Ok(e.val);
+        // Read-your-writes (entries are unique per address). The filter
+        // short-circuits the common not-written-by-us case in one AND;
+        // a hit (possibly false-positive) confirms against the set.
+        if self.wfilter.may_contain(a as u64) {
+            if let Some(e) = self.writes.iter().find(|e| e.addr == a) {
+                return Ok(e.val);
+            }
         }
+        let pair = self.ctx.stm.pair(a);
         loop {
-            let m1 = self.ctx.stm.cells[a].meta.load(Ordering::SeqCst);
+            // Seqlock word read (TL2 double-check). m1 Acquire: pairs
+            // with the publisher's final Release meta store, so seeing
+            // version m1 makes m1's value visible below.
+            let m1 = pair.meta.load(Ordering::Acquire);
             if is_locked(m1) {
                 self.contend(a, owner_of(m1))?;
                 continue;
             }
-            let v = self.ctx.stm.cells[a].value.load(Ordering::SeqCst);
-            let m2 = self.ctx.stm.cells[a].meta.load(Ordering::SeqCst);
+            // Acquire on the value: the m2 load cannot be hoisted above
+            // it, and a value stored by an in-flight publisher makes
+            // that publisher's locked meta visible to m2 (the publisher
+            // locks before storing the value), so m2 != m1 and the torn
+            // read is retried.
+            let v = pair.value.load(Ordering::Acquire);
+            // Relaxed: ordered after the value load by its Acquire; only
+            // meta's own coherence (comparison with m1) is consumed.
+            let m2 = pair.meta.load(Ordering::Relaxed);
             if m1 != m2 {
                 continue; // concurrent writer; retry the read
             }
@@ -726,19 +1014,21 @@ impl<'s, P: GracePolicy> Tx<'_, 's, P> {
         if self.killed() {
             return Err(Abort::RemoteKill);
         }
-        match self.writes.iter_mut().find(|e| e.addr == a) {
-            Some(e) => {
+        if self.wfilter.may_contain(a as u64) {
+            if let Some(e) = self.writes.iter_mut().find(|e| e.addr == a) {
                 e.op = WriteOp::Set;
                 e.val = v;
                 e.delta = 0;
+                return Ok(());
             }
-            None => self.writes.push(WriteEntry {
-                addr: a,
-                op: WriteOp::Set,
-                val: v,
-                delta: 0,
-            }),
         }
+        self.wfilter.insert(a as u64);
+        self.writes.push(WriteEntry {
+            addr: a,
+            op: WriteOp::Set,
+            val: v,
+            delta: 0,
+        });
         Ok(())
     }
 
@@ -748,16 +1038,19 @@ impl<'s, P: GracePolicy> Tx<'_, 's, P> {
     /// can *fold* into one publish under group commit — this is the entry
     /// point that makes same-key bursts coalesce.
     pub fn write_add(&mut self, a: Addr, delta: u64) -> Result<u64, Abort> {
-        if let Some(i) = self.writes.iter().position(|e| e.addr == a) {
-            let e = &mut self.writes[i];
-            e.val = e.val.wrapping_add(delta);
-            if e.op == WriteOp::Add {
-                e.delta = e.delta.wrapping_add(delta);
+        if self.wfilter.may_contain(a as u64) {
+            if let Some(i) = self.writes.iter().position(|e| e.addr == a) {
+                let e = &mut self.writes[i];
+                e.val = e.val.wrapping_add(delta);
+                if e.op == WriteOp::Add {
+                    e.delta = e.delta.wrapping_add(delta);
+                }
+                return Ok(e.val);
             }
-            return Ok(e.val);
         }
         let v0 = self.read(a)?;
         let val = v0.wrapping_add(delta);
+        self.wfilter.insert(a as u64);
         self.writes.push(WriteEntry {
             addr: a,
             op: WriteOp::Add,
@@ -788,7 +1081,7 @@ impl<'s, P: GracePolicy> Tx<'_, 's, P> {
     /// pre-lock metas in `restore` (parallel to the sorted write set). On
     /// a held lock, contend under the grace policy; on failure, release
     /// everything acquired so far.
-    fn acquire_write_locks(&mut self, restore: &mut Vec<u64>) -> Result<(), Abort> {
+    fn acquire_write_locks(&mut self, restore: &mut MetaSet) -> Result<(), Abort> {
         while restore.len() < self.writes.len() {
             let a = self.writes[restore.len()].addr;
             match lock_cell(self.ctx.stm, a, self.ctx.id, self.rv) {
@@ -832,33 +1125,55 @@ impl<'s, P: GracePolicy> Tx<'_, 's, P> {
     /// exceeds its clock sample and trust the chain.
     fn publish_writes(&self) {
         let stm = self.ctx.stm;
-        for e in &self.writes {
-            stm.cells[e.addr]
+        for e in self.writes.iter() {
+            // Relaxed: we already own the lock, so no third party may
+            // write meta; visibility of the flag to snapshot readers is
+            // carried by the AcqRel clock bump below — a reader whose rv
+            // covers our bump synchronizes with it and therefore sees
+            // the flag (or a later meta) at its own Acquire load. That
+            // is exactly the "flagless lock ⇒ pending version > rv"
+            // inference.
+            stm.pair(e.addr)
                 .meta
-                .store(pack_locked(self.ctx.id) | PUBLISH_BIT, Ordering::SeqCst);
+                .store(pack_locked(self.ctx.id) | PUBLISH_BIT, Ordering::Relaxed);
         }
-        let wv = stm.clock.fetch_add(1, Ordering::SeqCst) + 1;
-        for e in &self.writes {
-            let cell = &stm.cells[e.addr];
-            cell.push_chain(wv & VERSION_MASK, e.val);
-            cell.value.store(e.val, Ordering::SeqCst);
+        // AcqRel: the Release half publishes the PUBLISH_BIT stores
+        // above to clock samplers; the Acquire half keeps this bump (and
+        // the stores after it) ordered after every earlier committer's
+        // publication, preserving version monotonicity per word.
+        let wv = stm.clock.fetch_add(1, Ordering::AcqRel) + 1;
+        for e in self.writes.iter() {
+            let (pair, cold) = stm.parts(e.addr);
+            cold.push_chain(wv & VERSION_MASK, e.val);
+            // Release: a reader that Acquire-loads this value also sees
+            // our locked meta (stored before it), which is what makes
+            // the seqlock double-check sound.
+            pair.value.store(e.val, Ordering::Release);
         }
-        for e in &self.writes {
-            stm.cells[e.addr]
+        for e in self.writes.iter() {
+            // Release — THE publication point: pairs with readers' and
+            // validators' Acquire meta loads; observing version wv makes
+            // the value and chain stores above visible.
+            stm.pair(e.addr)
                 .meta
-                .store(wv & VERSION_MASK, Ordering::SeqCst);
+                .store(wv & VERSION_MASK, Ordering::Release);
         }
     }
 
     fn release_locks(&self, restore: &[u64]) {
         for (e, &prev) in self.writes.iter().zip(restore.iter()) {
-            self.ctx.stm.cells[e.addr]
+            // Release: the unlock side of the meta handoff — pairs with
+            // the next acquirer's CAS-Acquire (uniform with the publish
+            // store, though an aborting release published nothing).
+            self.ctx
+                .stm
+                .pair(e.addr)
                 .meta
-                .store(prev, Ordering::SeqCst);
+                .store(prev, Ordering::Release);
         }
     }
 
-    fn commit_phases(&mut self, restore: &mut Vec<u64>) -> Result<(), Abort> {
+    fn commit_phases(&mut self, restore: &mut MetaSet) -> Result<(), Abort> {
         self.acquire_write_locks(restore)?;
         if !self.writes.is_empty() {
             self.ctx
@@ -890,8 +1205,8 @@ impl<'s, P: GracePolicy> Tx<'_, 's, P> {
 #[derive(Debug, Default)]
 pub struct PreparedTx {
     rv: u64,
-    reads: Vec<(Addr, u64)>,
-    writes: Vec<WriteEntry>,
+    reads: ReadSet,
+    writes: WriteSet,
 }
 
 impl PreparedTx {
@@ -1119,10 +1434,12 @@ impl GroupCommit {
         self.fit_reads.clear();
     }
 
-    /// Release every lock acquired so far in this attempt.
+    /// Release every lock acquired so far in this attempt. Release: the
+    /// unlock side of the meta handoff (pairs with acquirers' CAS-
+    /// Acquire), same as the per-tx `release_locks`.
     fn release_held(&mut self, stm: &Stm) {
         for &(a, prev) in &self.restore {
-            stm.cells[a].meta.store(prev, Ordering::SeqCst);
+            stm.pair(a).meta.store(prev, Ordering::Release);
         }
         self.restore.clear();
     }
@@ -1200,7 +1517,8 @@ impl GroupCommit {
                 self.release_held(stm);
                 continue 'retry;
             }
-            if stm.kill_flags[owner].load(Ordering::SeqCst) {
+            // Relaxed: advisory flag (see `Tx::killed`).
+            if stm.kill_flags[owner].load(Ordering::Relaxed) {
                 // A requestor-wins contender flagged us: release and send
                 // the whole group to the per-tx path, which honors the
                 // flag at its next attempt boundary.
@@ -1213,19 +1531,25 @@ impl GroupCommit {
             // resolving folded Add values in member (= serialization)
             // order so value-bearing responses match a serial execution.
             if !self.slots.is_empty() {
-                // Same publish protocol as the per-tx path: flag every
-                // held lock before the group's single bump so snapshot
-                // readers can order themselves against it.
+                // Same publish protocol (and the same ordering argument)
+                // as the per-tx `publish_writes`: flag every held lock
+                // before the group's single AcqRel bump so snapshot
+                // readers can order themselves against it; Relaxed flag
+                // stores ride the bump's Release half.
                 for &(a, _) in &self.restore {
-                    stm.cells[a]
+                    stm.pair(a)
                         .meta
-                        .store(pack_locked(owner) | PUBLISH_BIT, Ordering::SeqCst);
+                        .store(pack_locked(owner) | PUBLISH_BIT, Ordering::Relaxed);
                 }
-                let wv = stm.clock.fetch_add(1, Ordering::SeqCst) + 1;
+                let wv = stm.clock.fetch_add(1, Ordering::AcqRel) + 1;
                 let mut coalesced = 0u64;
                 for si in 0..self.slots.len() {
                     let a = self.slots[si];
-                    let mut val = stm.cells[a].value.load(Ordering::SeqCst);
+                    // Relaxed: we hold the word's lock, and the lock
+                    // CAS's Acquire synchronized with the previous
+                    // publisher's Release, so this reads the latest
+                    // published value without further ordering.
+                    let mut val = stm.pair(a).value.load(Ordering::Relaxed);
                     let mut first = true;
                     for gi in 0..self.active.len() {
                         let mi = self.active[gi];
@@ -1244,12 +1568,18 @@ impl GroupCommit {
                             }
                         }
                     }
-                    let cell = &stm.cells[a];
-                    cell.push_chain(wv & VERSION_MASK, val);
-                    cell.value.store(val, Ordering::SeqCst);
+                    // Chain slot first (Release stores inside), then the
+                    // hot value with Release so the subsequent meta
+                    // Release publication makes both visible together.
+                    let (pair, cold) = stm.parts(a);
+                    cold.push_chain(wv & VERSION_MASK, val);
+                    pair.value.store(val, Ordering::Release);
                 }
                 for &(a, _) in &self.restore {
-                    stm.cells[a].meta.store(wv & VERSION_MASK, Ordering::SeqCst);
+                    // Release: THE publication point for the group — a
+                    // reader whose Acquire meta load sees `wv` also sees
+                    // every value/chain store above.
+                    stm.pair(a).meta.store(wv & VERSION_MASK, Ordering::Release);
                 }
                 self.restore.clear();
                 stats.record_group_commit(self.active.len() as u64, coalesced);
@@ -1283,7 +1613,7 @@ mod tests {
     use tcp_core::rng::Xoshiro256StarStar;
 
     fn ctx<P: GracePolicy>(stm: &Stm, id: usize, p: P) -> TxCtx<'_, P> {
-        TxCtx::new(stm, id, p, Box::new(Xoshiro256StarStar::new(id as u64 + 1)))
+        TxCtx::new(stm, id, p, Xoshiro256StarStar::new(id as u64 + 1))
     }
 
     #[test]
@@ -1457,9 +1787,10 @@ mod tests {
 
     #[test]
     fn tx_sets_reuse_context_allocations() {
-        // Once the read/write buffers have grown to the workload's footprint
-        // they must be recycled verbatim across transactions — no per-txn
-        // allocation on the batch-executor hot path.
+        // A footprint above INLINE_SET spills to the heap; once spilled to
+        // the workload's footprint the spill allocation must be recycled
+        // verbatim across transactions — no per-txn allocation on the
+        // batch-executor hot path.
         let stm = Stm::new(64, 1);
         let mut t = ctx(&stm, 0, NoDelay::requestor_aborts());
         t.run(|tx| {
@@ -1469,8 +1800,11 @@ mod tests {
             }
             Ok(())
         });
-        let (rp, wp) = (t.read_buf.as_ptr(), t.write_buf.as_ptr());
-        assert!(t.read_buf.capacity() >= 32 && t.write_buf.capacity() >= 32);
+        assert!(t.read_buf.is_spilled() && t.write_buf.is_spilled());
+        let (rp, wp) = (
+            t.read_buf.as_slice().as_ptr(),
+            t.write_buf.as_slice().as_ptr(),
+        );
         for _ in 0..100 {
             t.run(|tx| {
                 for a in 0..32 {
@@ -1480,9 +1814,67 @@ mod tests {
                 Ok(())
             });
         }
-        assert_eq!(t.read_buf.as_ptr(), rp, "read set must not reallocate");
-        assert_eq!(t.write_buf.as_ptr(), wp, "write set must not reallocate");
+        assert_eq!(
+            t.read_buf.as_slice().as_ptr(),
+            rp,
+            "read set must not reallocate"
+        );
+        assert_eq!(
+            t.write_buf.as_slice().as_ptr(),
+            wp,
+            "write set must not reallocate"
+        );
         assert_eq!(t.stats.commits, 101);
+    }
+
+    #[test]
+    fn small_footprint_tx_sets_stay_inline() {
+        // The serve mix's typical transaction touches ≤ INLINE_SET words;
+        // those must never touch the heap at all.
+        let stm = Stm::new(64, 1);
+        let mut t = ctx(&stm, 0, NoDelay::requestor_aborts());
+        for _ in 0..10 {
+            t.run(|tx| {
+                for a in 0..INLINE_SET {
+                    tx.write(a, 1)?;
+                }
+                Ok(())
+            });
+            assert!(!t.write_buf.is_spilled(), "≤N writes must stay inline");
+        }
+    }
+
+    #[test]
+    fn shard_layout_is_a_bijection_and_isolates_shards() {
+        for (words, shards) in [(1usize, 1usize), (7, 3), (64, 4), (100, 7), (16, 32)] {
+            let l = ShardLayout::new(words, shards);
+            let mut seen = std::collections::HashSet::new();
+            for k in 0..words {
+                let s = l.slot(k);
+                assert!(s < l.slots(), "slot {s} out of range for {words}/{shards}");
+                assert!(seen.insert(s), "key {k} collides at slot {s}");
+                // No two keys of different shards may share a cache line.
+                for k2 in 0..words {
+                    if k2 % l.shards() != k % l.shards() {
+                        assert_ne!(
+                            ShardLayout::line_of_slot(l.slot(k2)),
+                            ShardLayout::line_of_slot(s),
+                            "keys {k}/{k2} of different shards share a line"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hot_line_is_exactly_one_padded_cache_line() {
+        assert_eq!(std::mem::size_of::<HotLine>(), 64);
+        assert_eq!(std::mem::align_of::<HotLine>(), 64);
+        // The Stm allocates lines contiguously, so alignment of the Vec's
+        // elements follows from the type's alignment.
+        let stm = Stm::with_layout(10, 2, 3, ResolutionMode::RequestorWins);
+        assert_eq!(stm.hot.as_ptr() as usize % 64, 0);
     }
 
     #[test]
@@ -1757,8 +2149,8 @@ mod tests {
             ],
         );
         // Thread 1 holds word 1's lock.
-        let held = stm.cells[1].meta.load(Ordering::SeqCst);
-        stm.cells[1].meta.store(pack_locked(1), Ordering::SeqCst);
+        let held = stm.pair(1).meta.load(Ordering::SeqCst);
+        stm.pair(1).meta.store(pack_locked(1), Ordering::SeqCst);
         let mut gc = GroupCommit::new();
         let (mut outcomes, mut stats) = (Vec::new(), EngineStats::default());
         gc.commit_batch(&stm, 0, &mut members, &mut stats, &mut outcomes);
@@ -1769,7 +2161,7 @@ mod tests {
         );
         assert_eq!(stm.read_direct(0), 10);
         assert_eq!(stm.read_direct(1), 0, "fallback member must not publish");
-        stm.cells[1].meta.store(held, Ordering::SeqCst);
+        stm.pair(1).meta.store(held, Ordering::SeqCst);
     }
 
     #[test]

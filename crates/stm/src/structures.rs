@@ -272,12 +272,7 @@ mod tests {
     use tcp_core::rng::Xoshiro256StarStar;
 
     fn ctx<P: GracePolicy>(stm: &Stm, id: usize, p: P) -> TxCtx<'_, P> {
-        TxCtx::new(
-            stm,
-            id,
-            p,
-            Box::new(Xoshiro256StarStar::new(id as u64 + 99)),
-        )
+        TxCtx::new(stm, id, p, Xoshiro256StarStar::new(id as u64 + 99))
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub fn stack_throughput<P: GracePolicy + Clone>(
                 let stop = Arc::clone(&stop);
                 let policy = policy.clone();
                 s.spawn(move || {
-                    let mut t = TxCtx::new(&stm, id, policy, Box::new(rng));
+                    let mut t = TxCtx::new(&stm, id, policy, rng);
                     let mut i = 0u64;
                     while !stop.load(Ordering::Relaxed) {
                         if i.is_multiple_of(2) {
@@ -105,7 +105,7 @@ pub fn txapp_throughput<P: GracePolicy + Clone>(
                 let stop = Arc::clone(&stop);
                 let policy = policy.clone();
                 s.spawn(move || {
-                    let mut t = TxCtx::new(&stm, id, policy, Box::new(policy_rng));
+                    let mut t = TxCtx::new(&stm, id, policy, policy_rng);
                     while !stop.load(Ordering::Relaxed) {
                         let a = uniform_u64_below(&mut pick, objects) as usize;
                         let mut b = uniform_u64_below(&mut pick, objects - 1) as usize;

@@ -7,13 +7,12 @@
 //! normal approximation for large means) for Poisson. Each distribution is
 //! parameterized by its mean `µ`, matching how the paper sweeps them.
 
-use rand::RngCore;
-use tcp_core::rng::uniform01;
+use tcp_core::rng::{uniform01, Xoshiro256StarStar};
 
 /// A distribution over positive transaction lengths with known mean.
 pub trait LengthDist: Send + Sync {
     /// Draw a length (always ≥ `1e-9`; lengths are durations).
-    fn sample(&self, rng: &mut dyn RngCore) -> f64;
+    fn sample(&self, rng: &mut Xoshiro256StarStar) -> f64;
 
     /// The analytic mean `µ`.
     fn mean(&self) -> f64;
@@ -36,7 +35,7 @@ impl Geometric {
 }
 
 impl LengthDist for Geometric {
-    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+    fn sample(&self, rng: &mut Xoshiro256StarStar) -> f64 {
         // Inverse CDF: ceil(ln(1-u)/ln(1-p)).
         let u = uniform01(rng);
         let x = ((1.0 - u).ln() / (1.0 - self.p).ln()).ceil();
@@ -72,7 +71,7 @@ impl Normal {
 }
 
 impl LengthDist for Normal {
-    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+    fn sample(&self, rng: &mut Xoshiro256StarStar) -> f64 {
         // Box–Muller; reject non-positive draws (prob ≈ Φ(−5) ≈ 3e−7 at σ=µ/5).
         loop {
             let u1 = uniform01(rng).max(f64::MIN_POSITIVE);
@@ -106,7 +105,7 @@ impl Uniform {
 }
 
 impl LengthDist for Uniform {
-    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+    fn sample(&self, rng: &mut Xoshiro256StarStar) -> f64 {
         (2.0 * self.mu * uniform01(rng)).max(1e-9)
     }
     fn mean(&self) -> f64 {
@@ -131,7 +130,7 @@ impl Exponential {
 }
 
 impl LengthDist for Exponential {
-    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+    fn sample(&self, rng: &mut Xoshiro256StarStar) -> f64 {
         let u = uniform01(rng);
         (-self.mu * (1.0 - u).ln()).max(1e-9)
     }
@@ -160,7 +159,7 @@ impl Poisson {
 }
 
 impl LengthDist for Poisson {
-    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+    fn sample(&self, rng: &mut Xoshiro256StarStar) -> f64 {
         if self.lambda <= 30.0 {
             let l = (-self.lambda).exp();
             let mut k = 0u64;
@@ -213,7 +212,7 @@ impl Bimodal {
 }
 
 impl LengthDist for Bimodal {
-    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+    fn sample(&self, rng: &mut Xoshiro256StarStar) -> f64 {
         if uniform01(rng) < self.p_long {
             self.long
         } else {
@@ -253,7 +252,7 @@ impl Zipf {
     }
 
     /// Draw a rank in `{0, …, n−1}`.
-    pub fn sample(&self, rng: &mut dyn RngCore) -> usize {
+    pub fn sample(&self, rng: &mut Xoshiro256StarStar) -> usize {
         let u = uniform01(rng);
         self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
     }

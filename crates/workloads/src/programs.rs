@@ -6,8 +6,7 @@
 //! delays; the simulator replays it inside a hardware transaction,
 //! restarting from the top on abort. Addresses are abstract cache-line ids.
 
-use rand::RngCore;
-use tcp_core::rng::uniform_u64_below;
+use tcp_core::rng::{uniform_u64_below, Xoshiro256StarStar};
 
 /// One step of a transaction body.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -57,7 +56,7 @@ impl TxnProgram {
 /// A per-thread generator of transaction bodies.
 pub trait WorkloadGen: Send + Sync {
     /// The `seq`-th transaction executed by thread `tid`.
-    fn next_txn(&self, tid: usize, seq: u64, rng: &mut dyn RngCore) -> TxnProgram;
+    fn next_txn(&self, tid: usize, seq: u64, rng: &mut Xoshiro256StarStar) -> TxnProgram;
 
     fn name(&self) -> &'static str;
 
@@ -110,7 +109,7 @@ impl Default for StackWorkload {
 }
 
 impl WorkloadGen for StackWorkload {
-    fn next_txn(&self, tid: usize, seq: u64, _rng: &mut dyn RngCore) -> TxnProgram {
+    fn next_txn(&self, tid: usize, seq: u64, _rng: &mut Xoshiro256StarStar) -> TxnProgram {
         let top = HOT_BASE; // the single top-of-stack line
         let node = private_line(tid, seq % 64);
         let push = seq.is_multiple_of(2);
@@ -155,7 +154,7 @@ impl Default for QueueWorkload {
 }
 
 impl WorkloadGen for QueueWorkload {
-    fn next_txn(&self, tid: usize, seq: u64, _rng: &mut dyn RngCore) -> TxnProgram {
+    fn next_txn(&self, tid: usize, seq: u64, _rng: &mut Xoshiro256StarStar) -> TxnProgram {
         let head = HOT_BASE;
         let tail = HOT_BASE + 1;
         let node = private_line(tid, seq % 64);
@@ -206,7 +205,7 @@ impl Default for TxAppWorkload {
 }
 
 impl WorkloadGen for TxAppWorkload {
-    fn next_txn(&self, _tid: usize, _seq: u64, rng: &mut dyn RngCore) -> TxnProgram {
+    fn next_txn(&self, _tid: usize, _seq: u64, rng: &mut Xoshiro256StarStar) -> TxnProgram {
         let a = uniform_u64_below(rng, self.objects);
         let mut b = uniform_u64_below(rng, self.objects - 1);
         if b >= a {
@@ -251,7 +250,7 @@ impl Default for BimodalWorkload {
 }
 
 impl WorkloadGen for BimodalWorkload {
-    fn next_txn(&self, _tid: usize, seq: u64, rng: &mut dyn RngCore) -> TxnProgram {
+    fn next_txn(&self, _tid: usize, seq: u64, rng: &mut Xoshiro256StarStar) -> TxnProgram {
         let a = uniform_u64_below(rng, self.objects);
         let mut b = uniform_u64_below(rng, self.objects - 1);
         if b >= a {
@@ -305,7 +304,7 @@ impl SkewedTxAppWorkload {
 }
 
 impl WorkloadGen for SkewedTxAppWorkload {
-    fn next_txn(&self, _tid: usize, _seq: u64, rng: &mut dyn RngCore) -> TxnProgram {
+    fn next_txn(&self, _tid: usize, _seq: u64, rng: &mut Xoshiro256StarStar) -> TxnProgram {
         let a = self.zipf.sample(rng) as u64;
         let mut b = self.zipf.sample(rng) as u64;
         let mut guard = 0;
@@ -364,7 +363,7 @@ impl Default for ListWorkload {
 }
 
 impl WorkloadGen for ListWorkload {
-    fn next_txn(&self, _tid: usize, seq: u64, rng: &mut dyn RngCore) -> TxnProgram {
+    fn next_txn(&self, _tid: usize, seq: u64, rng: &mut Xoshiro256StarStar) -> TxnProgram {
         let start = uniform_u64_below(rng, self.nodes);
         let mut ops = Vec::with_capacity(2 * self.reads as usize + 1);
         for i in 0..self.reads {
@@ -411,7 +410,7 @@ impl FixedProgramsWorkload {
 }
 
 impl WorkloadGen for FixedProgramsWorkload {
-    fn next_txn(&self, tid: usize, seq: u64, _rng: &mut dyn RngCore) -> TxnProgram {
+    fn next_txn(&self, tid: usize, seq: u64, _rng: &mut Xoshiro256StarStar) -> TxnProgram {
         let idx = (seq as usize + tid) % self.programs.len();
         self.programs[idx].clone()
     }

@@ -6,7 +6,6 @@
 //! and charge the conflict cost of the policy's resolution mode. Averaging
 //! over many trials reproduces the bars of Figures 2a–2c.
 
-use rand::RngCore;
 use tcp_core::conflict::{conflict_cost, offline_opt};
 use tcp_core::engine::{AbortKind, ConflictArbiter, EngineStats};
 use tcp_core::policy::GracePolicy;
@@ -59,7 +58,7 @@ pub enum RemainingTime<'a> {
 }
 
 impl RemainingTime<'_> {
-    fn draw(&self, rng: &mut dyn RngCore) -> f64 {
+    fn draw(&self, rng: &mut Xoshiro256StarStar) -> f64 {
         match self {
             RemainingTime::FromLengths(dist) => {
                 let r = dist.sample(rng);

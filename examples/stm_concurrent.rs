@@ -28,12 +28,8 @@ fn main() {
                 let stm = Arc::clone(&stm);
                 let aborts = Arc::clone(&aborts);
                 s.spawn(move || {
-                    let mut ctx = TxCtx::new(
-                        &stm,
-                        id,
-                        RandRa,
-                        Box::new(Xoshiro256StarStar::new(id as u64 + 1)),
-                    );
+                    let mut ctx =
+                        TxCtx::new(&stm, id, RandRa, Xoshiro256StarStar::new(id as u64 + 1));
                     for _ in 0..per {
                         ctx.run(|tx| {
                             let v = tx.read(0)?;

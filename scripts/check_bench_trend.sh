@@ -20,7 +20,8 @@ cd "$(dirname "$0")/.."
 prev=$(mktemp)
 prev_load=$(mktemp)
 prev_skew=$(mktemp)
-trap 'rm -f "$prev" "$prev_load" "$prev_skew"' EXIT
+prev_hot=$(mktemp)
+trap 'rm -f "$prev" "$prev_load" "$prev_skew" "$prev_hot"' EXIT
 if ! git show HEAD:BENCH_serve.json > "$prev" 2>/dev/null; then
     echo "check_bench_trend: no committed BENCH_serve.json baseline; skipping"
     exit 0
@@ -29,6 +30,7 @@ fi
 # skips a pair whose baseline file is missing/empty.
 git show HEAD:BENCH_serve_load.json > "$prev_load" 2>/dev/null || rm -f "$prev_load"
 git show HEAD:BENCH_serve_skew.json > "$prev_skew" 2>/dev/null || rm -f "$prev_skew"
+git show HEAD:BENCH_stm_hot.json > "$prev_hot" 2>/dev/null || rm -f "$prev_hot"
 
 if [ "${TREND_STRICT:-0}" = "1" ]; then
     set -- --strict "$@"
@@ -36,4 +38,5 @@ fi
 cargo run -q --release -p tcp-bench --bin trend_check -- \
     --prev "$prev" --cur BENCH_serve.json \
     --prev-load "$prev_load" --cur-load BENCH_serve_load.json \
-    --prev-skew "$prev_skew" --cur-skew BENCH_serve_skew.json "$@"
+    --prev-skew "$prev_skew" --cur-skew BENCH_serve_skew.json \
+    --prev-hot "$prev_hot" --cur-hot BENCH_stm_hot.json "$@"

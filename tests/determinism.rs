@@ -76,7 +76,7 @@ fn stm_same_seed_identical_stats() {
         let mut mix = fan.stream();
         let stm = Stm::new(TStack::words(64), 1);
         let st = TStack::new(0, 64);
-        let mut ctx = TxCtx::new(&stm, 0, RandRa, Box::new(policy_rng));
+        let mut ctx = TxCtx::new(&stm, 0, RandRa, policy_rng);
         for _ in 0..2_000 {
             if uniform01(&mut mix) < 0.6 {
                 ctx.run(|tx| st.push(tx, 1));

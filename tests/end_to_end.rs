@@ -54,7 +54,7 @@ fn one_policy_many_substrates() {
     assert!(sim.run().commits() > 100);
     // STM (by value).
     let stm = Stm::new(8, 2);
-    let mut ctx = TxCtx::new(&stm, 0, policy, Box::new(Xoshiro256StarStar::new(5)));
+    let mut ctx = TxCtx::new(&stm, 0, policy, Xoshiro256StarStar::new(5));
     let v = ctx.run(|tx| {
         tx.write(0, 9)?;
         tx.read(0)

@@ -118,7 +118,7 @@ fn stm_survives_malicious_policy() {
                     stm,
                     id,
                     MaliciousPolicy(f64::NAN),
-                    Box::new(Xoshiro256StarStar::new(id as u64)),
+                    Xoshiro256StarStar::new(id as u64),
                 );
                 for _ in 0..2_000 {
                     t.run(|tx| {

@@ -341,7 +341,7 @@ fn stm_stack_matches_vec_model() {
         &stm,
         0,
         NoDelay::requestor_aborts(),
-        Box::new(Xoshiro256StarStar::new(8)),
+        Xoshiro256StarStar::new(8),
     );
     let mut model: Vec<u64> = Vec::new();
     let mut rng = Xoshiro256StarStar::new(9);
@@ -404,7 +404,7 @@ mod group_commit_equivalence {
                 &grouped,
                 0,
                 NoDelay::requestor_aborts(),
-                Box::new(Xoshiro256StarStar::new(1)),
+                Xoshiro256StarStar::new(1),
             );
             let mut members: Vec<PreparedTx> = batch
                 .iter()
@@ -428,7 +428,7 @@ mod group_commit_equivalence {
                 &per_tx,
                 0,
                 NoDelay::requestor_aborts(),
-                Box::new(Xoshiro256StarStar::new(2)),
+                Xoshiro256StarStar::new(2),
             );
             for steps in &batch {
                 ctx.run(|tx| run_steps(tx, steps));
@@ -479,7 +479,7 @@ mod snapshot_atomicity {
                             stm,
                             WRITERS + r,
                             NoDelay::requestor_wins(),
-                            Box::new(Xoshiro256StarStar::new(seed ^ r as u64)),
+                            Xoshiro256StarStar::new(seed ^ r as u64),
                         );
                         let mut last = 0u64;
                         while !done.load(Ordering::SeqCst) {
@@ -504,7 +504,7 @@ mod snapshot_atomicity {
                             stm,
                             w,
                             NoDelay::requestor_wins(),
-                            Box::new(Xoshiro256StarStar::new(seed.wrapping_add(w as u64))),
+                            Xoshiro256StarStar::new(seed.wrapping_add(w as u64)),
                         );
                         for _ in 0..TXNS_PER_WRITER {
                             ctx.run(|tx| {
@@ -540,6 +540,67 @@ mod snapshot_atomicity {
                 stm.snapshot_direct().iter().sum::<u64>(),
                 final_sum
             );
+        }
+    }
+}
+
+/// The shard-major heap layout must map keys to hot-array slots
+/// bijectively — every key gets exactly one slot, no two keys collide —
+/// and must never place keys of different shards on the same padded
+/// cache line (that would reintroduce the false sharing the layout
+/// exists to eliminate).
+mod shard_layout_bijection {
+    use super::*;
+
+    proptest! {
+        #[test]
+        fn key_to_slot_is_a_bijection(words in 1usize..500, shards in 1usize..16) {
+            let l = ShardLayout::new(words, shards);
+            let mut hit = vec![false; l.slots()];
+            for k in 0..words {
+                let s = l.slot(k);
+                prop_assert!(s < l.slots(), "slot {s} out of bounds (words={words}, shards={shards})");
+                prop_assert!(!hit[s], "keys collide at slot {s} (words={words}, shards={shards})");
+                hit[s] = true;
+            }
+        }
+
+        #[test]
+        fn shards_never_share_a_cache_line(words in 1usize..300, shards in 1usize..12) {
+            let l = ShardLayout::new(words, shards);
+            // line -> owning shard; a line owned by two shards is a bug.
+            let mut owner = std::collections::HashMap::new();
+            for k in 0..words {
+                let line = ShardLayout::line_of_slot(l.slot(k));
+                let shard = k % l.shards();
+                if let Some(&prev) = owner.get(&line) {
+                    prop_assert!(
+                        prev == shard,
+                        "line {line} shared by shards {prev} and {shard} (words={words}, shards={shards})"
+                    );
+                } else {
+                    owner.insert(line, shard);
+                }
+            }
+        }
+
+        #[test]
+        fn sharded_heap_round_trips_every_key(words in 1usize..200, shards in 1usize..8) {
+            // End-to-end through the Stm: direct writes land on the right
+            // key regardless of the physical permutation.
+            let stm = Stm::with_layout(words, 1, shards, ResolutionMode::RequestorAborts);
+            for k in 0..words {
+                stm.write_direct(k, k as u64 + 1000);
+            }
+            for k in 0..words {
+                prop_assert_eq!(stm.read_direct(k), k as u64 + 1000);
+            }
+            // snapshot_direct is key-ordered, not slot-ordered.
+            let snap = stm.snapshot_direct();
+            prop_assert_eq!(snap.len(), words);
+            for (k, v) in snap.iter().enumerate() {
+                prop_assert_eq!(*v, k as u64 + 1000);
+            }
         }
     }
 }
